@@ -1,0 +1,67 @@
+// Command lcc is the parallel-LOLCODE compiler driver, the namesake of the
+// paper's `lcc code.lol -o executable.x`. It translates LOLCODE with the
+// parallel extensions into a standalone Go main package that targets the
+// shmem PGAS runtime — the role C + OpenSHMEM played in the original
+// system. Build the result with the host Go toolchain:
+//
+//	lcc -o gen/main.go testdata/nbody.lol
+//	go run ./gen -np 16 -machine parallella
+//
+// With -check, lcc stops after parsing and semantic analysis and reports
+// diagnostics only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/gogen"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	check := flag.Bool("check", false, "parse and type-check only")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lcc [-o out.go] [-check] code.lol\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := core.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Fprintf(os.Stderr, "%s: OK (%d shared symbols, %d locks, %d functions)\n",
+			flag.Arg(0), len(prog.Info.Shared), len(prog.Info.Locks), len(prog.Info.Funcs))
+		return
+	}
+
+	src, err := gogen.Emit(prog.Info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(src)
+		return
+	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+// Command lolbench regenerates every table and figure of Richie & Ross
+// (2017) and the measurable versions of its qualitative claims. Each
+// subcommand corresponds to an experiment id in DESIGN.md §4 and a section
+// of EXPERIMENTS.md:
+//
+//	lolbench table1|table2|table3|tables   conformance Tables I-III
+//	lolbench fig1 [-np 4] [-f prog.lol]    Figure 1: PGAS symmetric layout
+//	lolbench fig2 [-trials 20]             Figure 2: barrier determinism
+//	lolbench listingA|B|C|D [-np 4]        §VI example programs
+//	lolbench backends                      E1: interpreter vs compiler
+//	lolbench scaling                       E2: Parallella -> XC40 scaling
+//	lolbench barriers                      T2 micro: HUGZ latency
+//	lolbench locks                         T2 micro: lock contention
+//	lolbench remote                        T2 micro: put/get cost vs distance
+//	lolbench toolchain                     E3: lcc -> Go over testdata/
+//	lolbench all                           everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	np := flag.Int("np", 4, "PE count for figure/listing experiments")
+	trials := flag.Int("trials", 20, "trials for the Figure 2 determinism experiment")
+	file := flag.String("f", "testdata/nbody.lol", "program for the Figure 1 layout")
+	dir := flag.String("testdata", "testdata", "directory of .lol programs")
+	flag.Usage = usage
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	// Subcommand first, flags after: `lolbench fig1 -np 8`.
+	cmd := os.Args[1]
+	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	var err error
+	switch cmd {
+	case "table1":
+		err = experiments.Tables(w, "I")
+	case "table2":
+		err = experiments.Tables(w, "II")
+	case "table3":
+		err = experiments.Tables(w, "III")
+	case "tables":
+		err = experiments.Tables(w, "all")
+	case "fig1":
+		err = experiments.Fig1(w, *file, *np)
+	case "fig2":
+		if _, err = experiments.Fig2(w, []int{2, 4, 8, 16}, *trials); err == nil {
+			fmt.Fprintln(w)
+			err = experiments.Fig2Draw(w, *np)
+		}
+	case "listingA", "listingB", "listingC", "listingD":
+		err = experiments.Listings(w, *dir, *np, cmd[len("listing"):])
+	case "backends":
+		_, err = experiments.Backends(w)
+	case "scaling":
+		_, err = experiments.Scaling(w, []int{1, 2, 4, 8, 16}, []int{32, 64, 128})
+	case "barriers":
+		err = experiments.BarrierScaling(w, []int{2, 4, 8, 16, 64}, 2000)
+	case "locks":
+		_, err = experiments.LockContention(w, []int{1, 2, 4, 8, 16}, 500)
+	case "remote":
+		err = experiments.RemoteAccess(w)
+	case "noc":
+		err = experiments.NocHeatmap(w, 16, 8, 2)
+	case "toolchain":
+		err = experiments.Toolchain(w, *dir)
+	case "all":
+		err = runAll(w, *dir, *np, *trials)
+	default:
+		fmt.Fprintf(os.Stderr, "lolbench: unknown experiment %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runAll(w *os.File, dir string, np, trials int) error {
+	steps := []func() error{
+		func() error { return experiments.Tables(w, "all") },
+		func() error { return sep(w, experiments.Fig1(w, dir+"/nbody.lol", np)) },
+		func() error {
+			_, err := experiments.Fig2(w, []int{2, 4, 8, 16}, trials)
+			if err == nil {
+				fmt.Fprintln(w)
+				err = experiments.Fig2Draw(w, np)
+			}
+			return sep(w, err)
+		},
+		func() error { _, err := experiments.Backends(w); return sep(w, err) },
+		func() error {
+			_, err := experiments.Scaling(w, []int{1, 2, 4, 8, 16}, []int{32, 64, 128})
+			return sep(w, err)
+		},
+		func() error { return sep(w, experiments.BarrierScaling(w, []int{2, 4, 8, 16, 64}, 2000)) },
+		func() error { _, err := experiments.LockContention(w, []int{1, 2, 4, 8, 16}, 500); return sep(w, err) },
+		func() error { return sep(w, experiments.RemoteAccess(w)) },
+		func() error { return sep(w, experiments.NocHeatmap(w, 16, 8, 2)) },
+		func() error { return sep(w, experiments.Toolchain(w, dir)) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sep(w *os.File, err error) error {
+	fmt.Fprintln(w, "\n"+string(make([]byte, 0)))
+	fmt.Fprintln(w, "────────────────────────────────────────────────────────────────")
+	return err
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: lolbench [flags] <experiment>
+
+experiments:
+  table1 table2 table3 tables   regenerate conformance Tables I-III
+  fig1                          Figure 1: PGAS symmetric memory layout
+  fig2                          Figure 2: barrier determinism (+ failure injection)
+  listingA listingB listingC listingD
+                                run the §VI example programs
+  backends                      E1: interpreter vs compiled backend
+  scaling                       E2: weak scaling, Parallella and XC40 models
+  barriers locks remote noc     T2 microbenchmarks + NoC traffic heatmap
+  toolchain                     E3: lcc -> Go over testdata/
+  all                           run everything
+
+flags:
+`)
+	flag.PrintDefaults()
+}

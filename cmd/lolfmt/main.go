@@ -1,0 +1,76 @@
+// Command lolfmt formats parallel-LOLCODE source in the canonical style,
+// gofmt-fashion:
+//
+//	lolfmt code.lol            # formatted source to stdout
+//	lolfmt -w code.lol more.lol  # rewrite files in place
+//	lolfmt -l *.lol            # list files whose formatting differs
+//
+// Comments are not preserved (the scanner discards them); -w refuses to
+// run on files containing comments unless -force is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/core"
+	"repro/internal/lolfmt"
+)
+
+var commentRE = regexp.MustCompile(`(?m)(^|\s)(BTW|OBTW)(\s|$)`)
+
+func main() {
+	write := flag.Bool("w", false, "write result back to the source file")
+	list := flag.Bool("l", false, "list files whose formatting differs")
+	force := flag.Bool("force", false, "allow -w on files containing comments (comments are dropped)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lolfmt [-w] [-l] [-force] file.lol...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := one(path, *write, *list, *force); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func one(path string, write, list, force bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := core.Parse(path, string(src))
+	if err != nil {
+		return err
+	}
+	formatted := lolfmt.Format(prog.AST)
+
+	switch {
+	case list:
+		if formatted != string(src) {
+			fmt.Println(path)
+		}
+	case write:
+		if commentRE.Match(src) && !force {
+			return fmt.Errorf("lolfmt: %s contains comments, which formatting would drop; use -force to rewrite anyway", path)
+		}
+		if formatted == string(src) {
+			return nil
+		}
+		return os.WriteFile(path, []byte(formatted), 0o644)
+	default:
+		os.Stdout.WriteString(formatted)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command lolrun launches a parallel-LOLCODE program SPMD, playing the role
+// of the paper's coprsh (Parallella) and aprun (Cray XC40) launchers:
+//
+//	lolrun -np 16 -machine parallella testdata/nbody.lol
+//	lolrun -np 1024 -machine xc40 -backend interp testdata/fig2.lol
+//
+// The -machine flag selects the latency model the PGAS runtime charges for
+// one-sided operations; -stats prints the operation counters and per-PE
+// simulated time after the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/shmem"
+	"repro/internal/trace"
+)
+
+func main() {
+	np := flag.Int("np", 1, "number of processing elements")
+	machineName := flag.String("machine", "smp", "cost model: "+strings.Join(machine.Names(), ", "))
+	backendName := flag.String("backend", "compile", "execution backend: compile or interp")
+	seed := flag.Int64("seed", 1, "base RNG seed (PE i uses seed+i)")
+	group := flag.Bool("group", false, "buffer output per PE and emit it grouped in rank order")
+	stats := flag.Bool("stats", false, "print runtime statistics after the run")
+	traceFlag := flag.Bool("trace", false, "record runtime events and draw the data movement per barrier phase")
+	dissem := flag.Bool("dissemination-barrier", false, "use the dissemination barrier instead of the central one")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lolrun [flags] code.lol\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	model, err := machine.ByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var backend core.Backend
+	switch *backendName {
+	case "compile":
+		backend = core.BackendCompile
+	case "interp":
+		backend = core.BackendInterp
+	default:
+		fmt.Fprintf(os.Stderr, "lolrun: unknown backend %q (want compile or interp)\n", *backendName)
+		os.Exit(2)
+	}
+	alg := shmem.BarrierCentral
+	if *dissem {
+		alg = shmem.BarrierDissemination
+	}
+
+	prog, err := core.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rec trace.Recorder
+	cfg := interp.Config{
+		NP:          *np,
+		Model:       model,
+		Barrier:     alg,
+		Seed:        *seed,
+		Stdout:      os.Stdout,
+		Stderr:      os.Stderr,
+		Stdin:       os.Stdin,
+		GroupOutput: *group,
+	}
+	if *traceFlag {
+		cfg.Tracer = rec.Record
+	}
+	res, err := prog.Run(core.RunConfig{Backend: backend, Config: cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *traceFlag {
+		symbols := make([]string, len(prog.Info.Shared))
+		for i, s := range prog.Info.Shared {
+			symbols[i] = s.Name
+		}
+		fmt.Fprintf(os.Stderr, "--- data movement (per barrier phase) ---\n")
+		rec.Render(os.Stderr, *np, symbols)
+		rec.Summary(os.Stderr, *np)
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "--- lolrun stats (np=%d, machine=%s, backend=%s) ---\n",
+			*np, model.Name(), backend)
+		fmt.Fprintf(os.Stderr, "remote puts: %d (%d bytes)\n", s.RemotePuts, s.PutBytes)
+		fmt.Fprintf(os.Stderr, "remote gets: %d (%d bytes)\n", s.RemoteGets, s.GetBytes)
+		fmt.Fprintf(os.Stderr, "barriers:    %d\n", s.Barriers)
+		fmt.Fprintf(os.Stderr, "lock ops:    %d acquired, %d contended\n", s.LockAcquires, s.LockContended)
+		var maxNanos float64
+		for _, ns := range res.SimNanos {
+			if ns > maxNanos {
+				maxNanos = ns
+			}
+		}
+		fmt.Fprintf(os.Stderr, "sim time:    %.3f us (slowest PE, %s model)\n", maxNanos/1000, model.Name())
+	}
+}

@@ -1,0 +1,106 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes one of this module's commands via `go run`.
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goTool, append([]string{"run"}, args...)...)
+	cmd.Dir = moduleRoot
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err = cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+// TestLolrunEndToEnd is the launcher workflow of §VI.E: run the Figure 2
+// program on 4 PEs under the Parallella model with stats.
+func TestLolrunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	stdout, stderr, err := runCLI(t,
+		"./cmd/lolrun", "-np", "4", "-group", "-stats", "-machine", "parallella",
+		"testdata/fig2.lol")
+	if err != nil {
+		t.Fatalf("lolrun failed: %v\nstderr: %s", err, stderr)
+	}
+	want := "PE 0: a=10 b=40 c=50\nPE 1: a=20 b=10 c=30\nPE 2: a=30 b=20 c=50\nPE 3: a=40 b=30 c=70\n"
+	if stdout != want {
+		t.Errorf("stdout = %q, want %q", stdout, want)
+	}
+	for _, needle := range []string{"remote puts: 4", "barriers:", "sim time:"} {
+		if !strings.Contains(stderr, needle) {
+			t.Errorf("stats output missing %q:\n%s", needle, stderr)
+		}
+	}
+}
+
+func TestLolrunInterpBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	stdout, stderr, err := runCLI(t,
+		"./cmd/lolrun", "-np", "2", "-group", "-backend", "interp", "testdata/trylock.lol")
+	if err != nil {
+		t.Fatalf("lolrun failed: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stdout, "PE 0 DUN MESIN") {
+		t.Errorf("unexpected output %q", stdout)
+	}
+}
+
+func TestLolrunRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	if _, _, err := runCLI(t, "./cmd/lolrun", "-machine", "cray-1", "testdata/fig2.lol"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, _, err := runCLI(t, "./cmd/lolrun", "-backend", "jit", "testdata/fig2.lol"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestLccCheckMode runs the compiler driver in -check mode over the n-body
+// listing and expects the summary diagnostics on stderr.
+func TestLccCheckMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	_, stderr, err := runCLI(t, "./cmd/lcc", "-check", "testdata/nbody.lol")
+	if err != nil {
+		t.Fatalf("lcc -check failed: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "OK (2 shared symbols, 2 locks, 0 functions)") {
+		t.Errorf("unexpected summary: %s", stderr)
+	}
+}
+
+// TestLolfmtStdout checks the formatter CLI round-trips a program.
+func TestLolfmtStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	stdout, stderr, err := runCLI(t, "./cmd/lolfmt", "testdata/fig2.lol")
+	if err != nil {
+		t.Fatalf("lolfmt failed: %v\n%s", err, stderr)
+	}
+	if !strings.HasPrefix(stdout, "HAI 1.2\n") || !strings.Contains(stdout, "TXT MAH BFF k,") {
+		t.Errorf("unexpected formatter output:\n%s", stdout)
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro is a complete Go reproduction of "I Can Has Supercomputer?
+// A Novel Approach to Teaching Parallel and Distributed Computing Concepts
+// Using a Meme-Based Programming Language" (Richie & Ross, 2017): parallel
+// LOLCODE — LOLCODE-1.2 with SPMD/PGAS extensions — together with every
+// substrate the paper depends on.
+//
+// The pieces, bottom to top:
+//
+//   - internal/shmem: an OpenSHMEM-flavoured PGAS runtime over goroutines
+//     (symmetric heaps, one-sided put/get, barriers, locks, collectives);
+//   - internal/noc and internal/machine: latency models for the paper's
+//     platforms — the Epiphany-III 2D-mesh NoC on the Parallella board and
+//     a Cray XC40-style hierarchy;
+//   - internal/lexer, parser, sema: the language frontend for Tables I-III;
+//   - internal/interp, compile, gogen: three backends — a tree-walking
+//     interpreter, a closure compiler, and a LOLCODE-to-Go source emitter
+//     (the paper's lcc emitted C + OpenSHMEM);
+//   - cmd/lcc, lolrun, lolfmt, lolbench: the toolchain, the SPMD launcher
+//     (coprsh/aprun analog), a formatter, and the experiment harness.
+//
+// bench_test.go in this directory carries one benchmark group per paper
+// artifact; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro

@@ -1,0 +1,97 @@
+// Locks: the paper's §VI.B mutual-exclusion lesson as a measurable
+// experiment. Every PE increments a shared counter on PE 0 many times,
+// once with the implicit lock (IM SRSLY MESIN WIF) and once without. With
+// the lock the count is exact; without it, updates are lost — the output
+// shows exactly how many.
+//
+//	go run ./examples/locks -np 8 -iters 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+const lockedSrc = `HAI 1.2
+WE HAS A x ITZ A NUMBR AN IM SHARIN IT
+I HAS A iters ITZ A NUMBR AN ITZ %d
+HUGZ
+TXT MAH BFF 0 AN STUFF
+  IM IN YR bump UPPIN YR i TIL BOTH SAEM i AN iters
+    IM SRSLY MESIN WIF x
+    UR x R SUM OF UR x AN 1
+    DUN MESIN WIF x
+  IM OUTTA YR bump
+TTYL
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE x
+OIC
+KTHXBYE`
+
+const racySrc = `HAI 1.2
+WE HAS A x ITZ A NUMBR AN IM SHARIN IT
+I HAS A iters ITZ A NUMBR AN ITZ %d
+I HAS A tmp ITZ A NUMBR
+I HAS A spin ITZ A NUMBR
+HUGZ
+TXT MAH BFF 0 AN STUFF
+  IM IN YR bump UPPIN YR i TIL BOTH SAEM i AN iters
+    tmp R UR x
+    BTW the classic lost-update window: another PE can read the same
+    BTW value of x before this PE writes tmp+1 back.
+    IM IN YR stall UPPIN YR w TIL BOTH SAEM w AN 20
+      spin R SUM OF spin AN 1
+    IM OUTTA YR stall
+    UR x R SUM OF tmp AN 1
+  IM OUTTA YR bump
+TTYL
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE x
+OIC
+KTHXBYE`
+
+func run(src string, np, iters int) int64 {
+	prog, err := core.Parse("locks-demo.lol", fmt.Sprintf(src, iters))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := prog.Run(core.RunConfig{
+		Backend: core.BackendCompile,
+		Config:  interp.Config{NP: np, Stdout: &out, GroupOutput: true},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var n int64
+	if _, err := fmt.Sscan(strings.TrimSpace(out.String()), &n); err != nil {
+		log.Fatalf("unexpected program output %q: %v", out.String(), err)
+	}
+	return n
+}
+
+func main() {
+	np := flag.Int("np", 8, "number of processing elements")
+	iters := flag.Int("iters", 200, "increments per PE")
+	flag.Parse()
+
+	want := int64(*np) * int64(*iters)
+	locked := run(lockedSrc, *np, *iters)
+	racy := run(racySrc, *np, *iters)
+
+	fmt.Printf("%d PEs x %d increments (expected total %d)\n", *np, *iters, want)
+	fmt.Printf("  with IM SRSLY MESIN WIF: %6d  (exact: %v)\n", locked, locked == want)
+	fmt.Printf("  without the lock:        %6d  (lost %d updates, %.1f%%)\n",
+		racy, want-racy, 100*float64(want-racy)/float64(want))
+	if locked != want {
+		log.Fatal("locked counter was not exact; mutual exclusion is broken")
+	}
+}

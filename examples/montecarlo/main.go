@@ -1,0 +1,78 @@
+// Monte Carlo pi: a fourth workload in pure parallel LOLCODE, exercising
+// the Table III extensions (WHATEVAR random numbers, SQUAR OF) plus the
+// one-sided result collection pattern: every PE estimates pi from its own
+// random stream, writes its hit count to PE 0's array, and PE 0 combines.
+//
+//	go run ./examples/montecarlo -np 8 -darts 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+const src = `HAI 1.2
+I HAS A darts ITZ A NUMBR AN ITZ %d
+WE HAS A hits ITZ SRSLY LOTZ A NUMBRS AN THAR IZ %d
+
+I HAS A x ITZ SRSLY A NUMBAR
+I HAS A y ITZ SRSLY A NUMBAR
+I HAS A insider ITZ A NUMBR AN ITZ 0
+
+IM IN YR throwin UPPIN YR i TIL BOTH SAEM i AN darts
+  x R WHATEVAR
+  y R WHATEVAR
+  SMALLR SUM OF SQUAR OF x AN SQUAR OF y AN 1.0, O RLY?
+  YA RLY
+    insider R SUM OF insider AN 1
+  OIC
+IM OUTTA YR throwin
+
+TXT MAH BFF 0, UR hits'Z ME R insider
+
+HUGZ
+
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  I HAS A total ITZ A NUMBR AN ITZ 0
+  IM IN YR gatherin UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    total R SUM OF total AN hits'Z k
+  IM OUTTA YR gatherin
+  I HAS A pi ITZ SRSLY A NUMBAR
+  pi R QUOSHUNT OF PRODUKT OF 4.0 AN MAEK total A NUMBAR ...
+    AN PRODUKT OF MAEK darts A NUMBAR AN MAEK MAH FRENZ A NUMBAR
+  VISIBLE pi
+OIC
+KTHXBYE`
+
+func main() {
+	np := flag.Int("np", 8, "number of processing elements")
+	darts := flag.Int("darts", 100_000, "darts per PE")
+	flag.Parse()
+
+	prog, err := core.Parse("montecarlo.lol", fmt.Sprintf(src, *darts, *np))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := prog.Run(core.RunConfig{
+		Backend: core.BackendCompile,
+		Config:  interp.Config{NP: *np, Seed: 2017, Stdout: &out, GroupOutput: true},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	est, err := strconv.ParseFloat(strings.TrimSpace(out.String()), 64)
+	if err != nil {
+		log.Fatalf("unexpected program output %q: %v", out.String(), err)
+	}
+	fmt.Printf("pi ~= %.2f from %d darts across %d PEs (true pi %.5f, error %.3f)\n",
+		est, *np**darts, *np, math.Pi, math.Abs(est-math.Pi))
+}

@@ -1,0 +1,63 @@
+// Quickstart: parse and run a parallel LOLCODE program from Go.
+//
+// The embedded program is the classic first SPMD exercise — every PE
+// introduces itself, they all meet at a barrier (HUGZ), then PE 0 reports
+// how many friends showed up. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+const program = `HAI 1.2
+BTW Every PE runs this same program (SPMD); ME and MAH FRENZ tell it who
+BTW it is and how many friends are running alongside it.
+
+WE HAS A roster ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 16
+
+VISIBLE "O HAI! I IZ FREND " ME " OF " MAH FRENZ
+
+BTW Everyone records itself on PE 0's roster, one-sided.
+TXT MAH BFF 0, UR roster'Z ME R SUM OF ME AN 1
+
+HUGZ
+
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  I HAS A count ITZ A NUMBR
+  IM IN YR tally UPPIN YR i TIL BOTH SAEM i AN MAH FRENZ
+    count R SUM OF count AN roster'Z i
+  IM OUTTA YR tally
+  VISIBLE "PE 0 COUNTED " count " CHECKINZ. KTHX!"
+OIC
+KTHXBYE`
+
+func main() {
+	prog, err := core.Parse("quickstart.lol", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := prog.Run(core.RunConfig{
+		Backend: core.BackendCompile,
+		Config: interp.Config{
+			NP:          4,
+			Seed:        1,
+			Stdout:      os.Stdout,
+			GroupOutput: true, // deterministic ordering for the demo
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n-- runtime: %d remote puts, %d barriers --\n",
+		res.Stats.RemotePuts, res.Stats.Barriers)
+}

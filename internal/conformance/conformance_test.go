@@ -1,0 +1,43 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTables runs every row of the paper's Tables I-III on both backends.
+// These rows are the specification: a failure here means the language
+// implementation diverged from the paper.
+func TestTables(t *testing.T) {
+	for _, backend := range []core.Backend{core.BackendInterp, core.BackendCompile} {
+		backend := backend
+		for i, row := range All() {
+			row := row
+			name := fmt.Sprintf("%v/Table%s/%02d_%s", backend, row.Table, i, shorten(row.Construct))
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				if err := row.Run(backend); err != nil {
+					t.Errorf("%s: %v\n--- program ---\n%s", row.Construct, err, row.Source)
+				}
+			})
+		}
+	}
+}
+
+func shorten(s string) string {
+	out := make([]rune, 0, 24)
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+		if len(out) == 24 {
+			break
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,113 @@
+// Package core is the public face of the parallel-LOLCODE system: it ties
+// the frontend (lexer, parser, sema) to the execution backends (interpreter
+// and compiled closures) over the shmem SPMD runtime.
+//
+// A minimal session, the library equivalent of the paper's
+// `lcc code.lol -o x && coprsh -np 16 ./x`:
+//
+//	prog, err := core.ParseFile("code.lol")
+//	...
+//	res, err := prog.Run(core.RunConfig{NP: 16})
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/shmem"
+)
+
+// Program is a parsed and semantically checked parallel-LOLCODE program.
+type Program struct {
+	File   string
+	Source string
+	AST    *ast.Program
+	Info   *sema.Info
+
+	compiled *compile.Program // lazily built by the compile backend
+}
+
+// Parse parses and checks LOLCODE source. file is used in diagnostics.
+func Parse(file, src string) (*Program, error) {
+	tree, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", file, err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", file, err)
+	}
+	return &Program{File: file, Source: src, AST: tree, Info: info}, nil
+}
+
+// ParseFile reads and parses path.
+func ParseFile(path string) (*Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, string(src))
+}
+
+// Backend selects an execution strategy.
+type Backend int
+
+const (
+	// BackendCompile lowers the AST to closures once and runs those — the
+	// production path, analogous to the paper's compiled executables.
+	BackendCompile Backend = iota
+	// BackendInterp walks the AST directly — the baseline an interpreter
+	// represents in the paper's compiler-vs-interpreter argument.
+	BackendInterp
+)
+
+func (b Backend) String() string {
+	if b == BackendInterp {
+		return "interp"
+	}
+	return "compile"
+}
+
+// RunConfig is the execution configuration shared by both backends; it is
+// interp.Config with a backend selector.
+type RunConfig struct {
+	interp.Config
+	Backend Backend
+}
+
+// Run executes the program SPMD across cfg.NP processing elements.
+func (p *Program) Run(cfg RunConfig) (*interp.Result, error) {
+	switch cfg.Backend {
+	case BackendInterp:
+		return interp.Run(p.Info, cfg.Config)
+	default:
+		cp, err := p.Compiled()
+		if err != nil {
+			return nil, err
+		}
+		return cp.Run(cfg.Config)
+	}
+}
+
+// Compiled returns the closure-compiled form, building it on first use.
+func (p *Program) Compiled() (*compile.Program, error) {
+	if p.compiled == nil {
+		cp, err := compile.Compile(p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", p.File, err)
+		}
+		p.compiled = cp
+	}
+	return p.compiled, nil
+}
+
+// NewWorld builds a shmem world sized for this program, for callers that
+// want to inspect the world (stats, models) across a run.
+func (p *Program) NewWorld(cfg RunConfig) (*shmem.World, error) {
+	return interp.NewWorld(p.Info, cfg.Config)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lolfmt"
+	"repro/internal/progen"
+)
+
+func formatSource(t *testing.T, prog *Program) string {
+	t.Helper()
+	return lolfmt.Format(prog.AST)
+}
+
+// TestDifferentialRandomPrograms generates 150 random programs (see
+// internal/progen) and requires both backends to agree byte-for-byte on
+// their output. This suite caught a real specializer bug during
+// development (integer division lowered to float division), so it stays
+// aggressive.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := progen.New(int64(seed)).Program(6)
+			prog, err := Parse("rand.lol", src)
+			if err != nil {
+				t.Fatalf("generator produced invalid program: %v\n%s", err, src)
+			}
+			outs := make(map[Backend]string)
+			for _, b := range []Backend{BackendInterp, BackendCompile} {
+				var out strings.Builder
+				_, err := prog.Run(RunConfig{
+					Backend: b,
+					Config:  interp.Config{NP: 1, Seed: 9, Stdout: &out, GroupOutput: true},
+				})
+				if err != nil {
+					t.Fatalf("%v: %v\n%s", b, err, src)
+				}
+				outs[b] = out.String()
+			}
+			if outs[BackendInterp] != outs[BackendCompile] {
+				t.Errorf("backends disagree:\ninterp:  %q\ncompile: %q\n--- program ---\n%s",
+					outs[BackendInterp], outs[BackendCompile], src)
+			}
+		})
+	}
+}
+
+// TestDifferentialFormattedPrograms closes the loop through the formatter:
+// a random program and its lolfmt-canonicalized form must behave
+// identically. (Structural equality is tested in internal/lolfmt; this
+// adds behavioural equality.)
+func TestDifferentialFormattedPrograms(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := progen.New(int64(1000 + seed)).Program(5)
+			run := func(file, source string) string {
+				prog, err := Parse(file, source)
+				if err != nil {
+					t.Fatalf("%s: %v\n%s", file, err, source)
+				}
+				var out strings.Builder
+				if _, err := prog.Run(RunConfig{Config: interp.Config{
+					NP: 1, Seed: 4, Stdout: &out, GroupOutput: true,
+				}}); err != nil {
+					t.Fatalf("%s: %v", file, err)
+				}
+				return out.String()
+			}
+			orig := run("orig.lol", src)
+			prog, err := Parse("orig.lol", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			formatted := formatSource(t, prog)
+			if got := run("formatted.lol", formatted); got != orig {
+				t.Errorf("formatted program behaves differently:\noriginal:  %q\nformatted: %q\n--- formatted source ---\n%s",
+					orig, got, formatted)
+			}
+		})
+	}
+}

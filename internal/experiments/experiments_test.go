@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The experiment suite is exercised end-to-end by cmd/lolbench; these
+// tests keep each experiment runnable and its headline claims true.
+
+func TestTablesAllPass(t *testing.T) {
+	var out strings.Builder
+	if err := Tables(&out, "all"); err != nil {
+		t.Fatalf("conformance tables failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 failures") {
+		t.Errorf("report does not state zero failures:\n%s", out.String())
+	}
+}
+
+func TestTablesUnknownName(t *testing.T) {
+	if err := Tables(io.Discard, "XIV"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestFig1RendersLayout(t *testing.T) {
+	var out strings.Builder
+	if err := Fig1(&out, "../../testdata/nbody.lol", 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pos_x", "pos_y", "PE 0", "PE 3", "lock"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFig2SyncedAlwaysCorrect(t *testing.T) {
+	var out strings.Builder
+	results, err := Fig2(&out, []int{2, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.SyncedCorrect != r.Trials {
+			t.Errorf("np=%d: synced %d/%d", r.NP, r.SyncedCorrect, r.Trials)
+		}
+	}
+}
+
+func TestGenNBodyParsesAndRuns(t *testing.T) {
+	src := GenNBody(4, 1)
+	prog, err := core.Parse("gen-nbody.lol", src)
+	if err != nil {
+		t.Fatalf("generated n-body does not parse: %v", err)
+	}
+	if _, err := prog.Run(core.RunConfig{}); err != nil {
+		t.Fatalf("generated n-body does not run: %v", err)
+	}
+}
+
+func TestBackendsCompiledWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	results, err := Backends(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: compiled beats interpreted. Individual runs can
+	// jitter; requiring the paper-sized workload to win keeps this stable.
+	last := results[len(results)-1]
+	if last.Speedup() <= 1.0 {
+		t.Errorf("compiled backend did not beat interpreter on %q: %.2fx", last.Workload, last.Speedup())
+	}
+}
+
+func TestScalingCommunicationGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	results, err := Scaling(io.Discard, []int{1, 2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d rows", len(results))
+	}
+	if !(results[0].RemoteGets < results[1].RemoteGets && results[1].RemoteGets < results[2].RemoteGets) {
+		t.Errorf("remote gets should grow with np: %v", results)
+	}
+	if !(results[0].SimMicros <= results[1].SimMicros && results[1].SimMicros < results[2].SimMicros) {
+		t.Errorf("simulated comm time should grow with np: %v", results)
+	}
+}
+
+func TestLockContentionStaysExact(t *testing.T) {
+	results, err := LockContention(io.Discard, []int{1, 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.FinalExact {
+			t.Errorf("np=%d: lock lost updates", r.NP)
+		}
+	}
+}
+
+func TestBarrierScalingRuns(t *testing.T) {
+	if err := BarrierScaling(io.Discard, []int{2, 4}, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteAccessReport(t *testing.T) {
+	var out strings.Builder
+	if err := RemoteAccess(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "corner (0 -> 15)") {
+		t.Errorf("missing mesh rows:\n%s", out.String())
+	}
+}
+
+func TestNocHeatmap(t *testing.T) {
+	var out strings.Builder
+	if err := NocHeatmap(&out, 8, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"heatmap", "[ 0]", "hottest link", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestToolchainAllValid(t *testing.T) {
+	var out strings.Builder
+	if err := Toolchain(&out, "../../testdata"); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+}
+
+func TestListings(t *testing.T) {
+	for _, l := range []string{"A", "B", "C"} {
+		if err := Listings(io.Discard, "../../testdata", 4, l); err != nil {
+			t.Errorf("listing %s: %v", l, err)
+		}
+	}
+	if err := Listings(io.Discard, "../../testdata", 4, "Z"); err == nil {
+		t.Error("unknown listing accepted")
+	}
+}

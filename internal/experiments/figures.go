@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/sema"
+	"repro/internal/trace"
+)
+
+// Fig1 regenerates the paper's Figure 1: the PGAS memory model. For the
+// given program it renders the symmetric heap layout — the same symbols at
+// the same slots on every PE, each PE owning its own instance — which is
+// exactly what the figure draws as stacked PE boxes.
+func Fig1(w io.Writer, path string, np int) error {
+	prog, err := core.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	info := prog.Info
+
+	fmt.Fprintf(w, "FIGURE 1 — PGAS memory model for %s across %d PEs\n\n", path, np)
+	if len(info.Shared) == 0 {
+		fmt.Fprintln(w, "(program declares no WE HAS A symmetric symbols)")
+		return nil
+	}
+
+	fmt.Fprintf(w, "symmetric heap layout (identical on every PE):\n")
+	fmt.Fprintf(w, "  %-6s %-12s %-8s %-7s %s\n", "slot", "symbol", "type", "lock", "kind")
+	for _, s := range info.Shared {
+		kind := "scalar"
+		if s.IsArray {
+			kind = "array"
+		}
+		lock := "-"
+		if s.Lock >= 0 {
+			lock = fmt.Sprintf("#%d", s.Lock)
+		}
+		fmt.Fprintf(w, "  %-6d %-12s %-8v %-7s %s\n", s.Heap, s.Name, s.Type, lock, kind)
+	}
+
+	fmt.Fprintf(w, "\nper-PE instances (SPMD: every PE allocates the same symbols):\n\n")
+	var row strings.Builder
+	for pe := 0; pe < np; pe++ {
+		fmt.Fprintf(&row, "+--------PE %-2d-------+  ", pe)
+	}
+	fmt.Fprintln(w, row.String())
+	for _, s := range info.Shared {
+		row.Reset()
+		for pe := 0; pe < np; pe++ {
+			fmt.Fprintf(&row, "| %-18s |  ", instanceLabel(s))
+		}
+		fmt.Fprintln(w, row.String())
+	}
+	row.Reset()
+	for pe := 0; pe < np; pe++ {
+		row.WriteString("+--------------------+  ")
+	}
+	fmt.Fprintln(w, row.String())
+	fmt.Fprintln(w, "\nremote access: TXT MAH BFF k, ... UR <symbol> addresses PE k's instance")
+	return nil
+}
+
+func instanceLabel(s *sema.Symbol) string {
+	if s.IsArray {
+		return fmt.Sprintf("%s: [..]%v", s.Name, s.Type)
+	}
+	return fmt.Sprintf("%s: %v", s.Name, s.Type)
+}
+
+// fig2Source builds the Figure 2 program, optionally omitting the barrier
+// between the remote put and the local read (failure injection).
+func fig2Source(withHugz bool) string {
+	barrier := "HUGZ"
+	if !withHugz {
+		barrier = "BTW HUGZ removed: the read below races with the remote puts"
+	}
+	return `HAI 1.2
+WE HAS A a ITZ SRSLY A NUMBR
+WE HAS A b ITZ SRSLY A NUMBR
+WE HAS A c ITZ SRSLY A NUMBR
+I HAS A k ITZ A NUMBR AN ITZ SUM OF ME AN 1
+k R MOD OF k AN MAH FRENZ
+a R PRODUKT OF SUM OF ME AN 1 AN 10
+HUGZ
+TXT MAH BFF k, UR b R MAH a
+` + barrier + `
+c R SUM OF a AN b
+VISIBLE c
+KTHXBYE`
+}
+
+// fig2Expected is the deterministic output of the synchronized program.
+func fig2Expected(np int) string {
+	var b strings.Builder
+	for pe := 0; pe < np; pe++ {
+		prev := (pe - 1 + np) % np
+		fmt.Fprintf(&b, "%d\n", (pe+1)*10+(prev+1)*10)
+	}
+	return b.String()
+}
+
+// Fig2Result reports one Figure 2 determinism experiment.
+type Fig2Result struct {
+	NP            int
+	Trials        int
+	SyncedCorrect int // runs matching the expected output, with HUGZ
+	RacyCorrect   int // runs matching the expected output, without HUGZ
+}
+
+// Fig2 regenerates Figure 2's lesson (experiment F2): with the barrier the
+// neighbour exchange is deterministic; with the barrier removed, fast PEs
+// may compute c before b arrives. Returns one result per PE count.
+func Fig2(w io.Writer, npList []int, trials int) ([]Fig2Result, error) {
+	fmt.Fprintf(w, "FIGURE 2 — symmetric data movement: c = a + b after neighbour put\n")
+	fmt.Fprintf(w, "%-6s %-8s %-22s %-22s\n", "np", "trials", "with HUGZ correct", "without HUGZ correct")
+
+	results := make([]Fig2Result, 0, len(npList))
+	for _, np := range npList {
+		res := Fig2Result{NP: np, Trials: trials}
+		want := fig2Expected(np)
+		for trial := 0; trial < trials; trial++ {
+			if out, err := runSource(fig2Source(true), np, int64(trial)); err != nil {
+				return nil, err
+			} else if out == want {
+				res.SyncedCorrect++
+			}
+			if out, err := runSource(fig2Source(false), np, int64(trial)); err != nil {
+				return nil, err
+			} else if out == want {
+				res.RacyCorrect++
+			}
+		}
+		fmt.Fprintf(w, "%-6d %-8d %-22s %-22s\n", np, trials,
+			fmt.Sprintf("%d/%d", res.SyncedCorrect, trials),
+			fmt.Sprintf("%d/%d", res.RacyCorrect, trials))
+		if res.SyncedCorrect != trials {
+			return nil, fmt.Errorf("experiments: synchronized Figure 2 was nondeterministic at np=%d", np)
+		}
+		results = append(results, res)
+	}
+	fmt.Fprintln(w, "\nwith HUGZ the result is always exact; without it, lost reads appear")
+	fmt.Fprintln(w, "under load (\"fast PEs calculate the sum before b has been updated\")")
+	return results, nil
+}
+
+func runSource(src string, np int, seed int64) (string, error) {
+	prog, err := core.Parse("exp.lol", src)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	_, err = prog.Run(core.RunConfig{
+		Backend: core.BackendCompile,
+		Config: interp.Config{
+			NP: np, Seed: seed, Stdout: &out, GroupOutput: true,
+		},
+	})
+	return out.String(), err
+}
+
+// Fig2Draw regenerates the *drawing* of Figure 2 from a real execution:
+// the runtime trace of the synchronized program is grouped by barrier
+// phase and rendered as per-PE data-movement arrows, plus the measured
+// traffic matrix.
+func Fig2Draw(w io.Writer, np int) error {
+	prog, err := core.Parse("fig2.lol", fig2Source(true))
+	if err != nil {
+		return err
+	}
+	var rec trace.Recorder
+	if _, err := prog.Run(core.RunConfig{
+		Backend: core.BackendCompile,
+		Config:  interp.Config{NP: np, Tracer: rec.Record},
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "FIGURE 2 (drawn from the runtime trace) — np=%d\n\n", np)
+	symbols := make([]string, len(prog.Info.Shared))
+	for i, s := range prog.Info.Shared {
+		symbols[i] = s.Name
+	}
+	rec.Render(w, np, symbols)
+	rec.Summary(w, np)
+	return nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/shmem"
+	"repro/internal/value"
+)
+
+// RemoteAccess reports the simulated cost of one-sided puts and gets as a
+// function of mesh distance on the Parallella model — the Epiphany's
+// defining asymmetry (writes cheap, reads ~8x) and distance dependence,
+// which Table II's UR/MAH semantics expose to students.
+func RemoteAccess(w io.Writer) error {
+	model := machine.NewParallella()
+	fmt.Fprintf(w, "T2 micro — one-sided access cost on the Epiphany mesh model (8-byte payload)\n")
+	fmt.Fprintf(w, "%-22s %-8s %-14s %-14s %-8s\n", "route", "hops", "put (ns sim)", "get (ns sim)", "get/put")
+	routes := []struct {
+		name     string
+		src, dst int
+	}{
+		{"self (0 -> 0)", 0, 0},
+		{"neighbour (0 -> 1)", 0, 1},
+		{"same row (0 -> 3)", 0, 3},
+		{"diagonal (0 -> 5)", 0, 5},
+		{"corner (0 -> 15)", 0, 15},
+	}
+	for _, r := range routes {
+		put := model.PutNanos(r.src, r.dst, 8)
+		get := model.GetNanos(r.src, r.dst, 8)
+		ratio := "-"
+		if put > 0 {
+			ratio = fmt.Sprintf("%.1fx", get/put)
+		}
+		fmt.Fprintf(w, "%-22s %-8d %-14.2f %-14.2f %-8s\n",
+			r.name, model.Mesh().Hops(r.src, r.dst), put, get, ratio)
+	}
+
+	x := machine.NewXC40()
+	fmt.Fprintf(w, "\nsame operations on the XC40 model:\n")
+	fmt.Fprintf(w, "%-22s %-14s %-14s\n", "locality", "put (ns sim)", "get (ns sim)")
+	tiers := []struct {
+		name     string
+		src, dst int
+	}{
+		{"same node", 0, 1},
+		{"same group", 0, x.PEsPerNode},
+		{"cross fabric", 0, x.PEsPerNode * x.NodesPerGroup},
+	}
+	for _, tr := range tiers {
+		fmt.Fprintf(w, "%-22s %-14.0f %-14.0f\n", tr.name,
+			x.PutNanos(tr.src, tr.dst, 8), x.GetNanos(tr.src, tr.dst, 8))
+	}
+	return nil
+}
+
+// LockContention measures throughput of the implicit-lock protocol as
+// contention grows: np PEs all hammering one lock (the §VI.B pattern).
+type LockContentionResult struct {
+	NP         int
+	OpsPerSec  float64
+	Contended  int64
+	FinalExact bool
+}
+
+// LockContention runs the lock microbenchmark and reports per-np rows.
+func LockContention(w io.Writer, npList []int, itersPerPE int) ([]LockContentionResult, error) {
+	fmt.Fprintf(w, "T2 micro — lock acquire/release under contention (%d ops per PE)\n", itersPerPE)
+	fmt.Fprintf(w, "%-6s %-14s %-12s %-8s\n", "np", "locked ops/s", "contended", "exact")
+
+	var results []LockContentionResult
+	for _, np := range npList {
+		syms := []shmem.SymbolSpec{{Name: "ctr"}}
+		world, err := shmem.NewWorld(np, syms, 1, shmem.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		err = world.Run(func(pe *shmem.PE) error {
+			if err := pe.InitScalar(0, value.NewNumbr(0)); err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			for i := 0; i < itersPerPE; i++ {
+				if err := pe.SetLock(0); err != nil {
+					return err
+				}
+				v, err := pe.Get(0, 0)
+				if err != nil {
+					return err
+				}
+				if err := pe.Put(0, 0, value.NewNumbr(v.Numbr()+1)); err != nil {
+					return err
+				}
+				if err := pe.ClearLock(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+
+		final, err := finalCounter(world, np)
+		if err != nil {
+			return nil, err
+		}
+		stats := world.Stats()
+		r := LockContentionResult{
+			NP:         np,
+			OpsPerSec:  float64(np*itersPerPE) / elapsed.Seconds(),
+			Contended:  stats.LockContended,
+			FinalExact: final == int64(np*itersPerPE),
+		}
+		results = append(results, r)
+		fmt.Fprintf(w, "%-6d %-14.0f %-12d %-8v\n", r.NP, r.OpsPerSec, r.Contended, r.FinalExact)
+		if !r.FinalExact {
+			return nil, fmt.Errorf("experiments: lock lost updates at np=%d (counter %d)", np, final)
+		}
+	}
+	fmt.Fprintln(w, "\nexactness under every contention level is the mutual-exclusion result of §VI.B")
+	return results, nil
+}
+
+// finalCounter reads the counter on PE 0 after the world has finished.
+func finalCounter(world *shmem.World, np int) (int64, error) {
+	var out int64
+	err := world.Run(func(pe *shmem.PE) error {
+		if pe.ID() != 0 {
+			return nil
+		}
+		v, err := pe.LocalGet(0)
+		if err != nil {
+			return err
+		}
+		out = v.Numbr()
+		return nil
+	})
+	return out, err
+}

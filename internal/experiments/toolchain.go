@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gogen"
+	"repro/internal/interp"
+)
+
+// Toolchain runs experiment E3: the §VI.E workflow. Every .lol program in
+// dir is lowered to Go the way lcc lowered LOLCODE to C; the report shows
+// the generated size and verifies the output is valid Go. (The gogen test
+// suite additionally builds and runs a generated program with the host
+// toolchain and compares output against the interpreter.)
+func Toolchain(w io.Writer, dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "*.lol"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("experiments: no .lol programs under %s", dir)
+	}
+	sort.Strings(files)
+
+	fmt.Fprintf(w, "E3 — lcc source-to-source toolchain over %s\n", dir)
+	fmt.Fprintf(w, "%-18s %-10s %-12s %-10s\n", "program", "lol lines", "go lines", "valid go")
+	for _, f := range files {
+		prog, err := core.ParseFile(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		out, err := gogen.Emit(prog.Info)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		fset := token.NewFileSet()
+		_, parseErr := parser.ParseFile(fset, "gen.go", out, 0)
+		ok := "yes"
+		if parseErr != nil {
+			ok = "NO: " + parseErr.Error()
+		}
+		fmt.Fprintf(w, "%-18s %-10d %-12d %-10s\n",
+			filepath.Base(f),
+			strings.Count(prog.Source, "\n")+1,
+			strings.Count(string(out), "\n")+1,
+			ok)
+		if parseErr != nil {
+			return fmt.Errorf("experiments: %s generated invalid Go", f)
+		}
+	}
+	fmt.Fprintln(w, "\nequivalent of: lcc code.lol -o x && coprsh -np 16 ./x")
+	return nil
+}
+
+// Listings runs the paper's §VI example programs (A: ring, B: locks,
+// C: Figure 2 code, D: n-body) at the given PE count and prints their
+// output, grouped by PE for readability.
+func Listings(w io.Writer, dir string, np int, which string) error {
+	names := map[string]string{
+		"A": "ring.lol",
+		"B": "locks.lol",
+		"C": "fig2.lol",
+		"D": "nbody.lol",
+	}
+	file, ok := names[strings.ToUpper(which)]
+	if !ok {
+		return fmt.Errorf("experiments: unknown listing %q (want A, B, C, or D)", which)
+	}
+	path := filepath.Join(dir, file)
+	prog, err := core.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "§VI.%s — %s at np=%d\n\n", strings.ToUpper(which), file, np)
+	res, err := prog.Run(core.RunConfig{
+		Backend: core.BackendCompile,
+		Config:  interp.Config{NP: np, Seed: 7, Stdout: w, GroupOutput: true},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n(%d remote puts, %d remote gets, %d barrier episodes)\n",
+		res.Stats.RemotePuts, res.Stats.RemoteGets, res.Stats.Barriers/int64(np))
+	return nil
+}

@@ -1,0 +1,90 @@
+package gogen
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// TestGoRunMatchesInterp is the paper's §VI.E workflow end to end:
+// lcc-emit programs to Go, build and run them with the host Go toolchain,
+// and require the same output the interpreter produces (order-normalized:
+// the compiled binary prints live, so PE interleaving is
+// scheduler-dependent). The corpus covers the Figure 2 exchange, functions
+// with recursion, and the odd-even transposition sort.
+func TestGoRunMatchesInterp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go toolchain round trip is slow for -short")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		file string
+		np   int
+	}{
+		{"fig2.lol", 4},
+		{"funcs.lol", 1},
+		{"sort.lol", 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			lolPath := filepath.Join("..", "..", "testdata", tc.file)
+			out := emitFile(t, lolPath)
+
+			// The generated file imports repro/internal/..., so it must live
+			// inside this module.
+			genDir, err := os.MkdirTemp(moduleRoot, "gen-e2e-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.RemoveAll(genDir)
+			if err := os.WriteFile(filepath.Join(genDir, "main.go"), out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			cmd := exec.Command(goTool, "run", "./"+filepath.Base(genDir),
+				"-np", fmt.Sprint(tc.np), "-seed", "42")
+			cmd.Dir = moduleRoot
+			got, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed: %v\n%s", err, got)
+			}
+
+			prog, err := core.ParseFile(lolPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			if _, err := prog.Run(core.RunConfig{Config: interp.Config{
+				NP: tc.np, Seed: 42, Stdout: &want, GroupOutput: true,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+
+			if sortLines(string(got)) != sortLines(want.String()) {
+				t.Errorf("toolchain output differs from interpreter:\ngo run:\n%s\ninterp:\n%s", got, want.String())
+			}
+		})
+	}
+}
+
+func sortLines(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

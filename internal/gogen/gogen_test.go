@@ -1,0 +1,124 @@
+package gogen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lolparser "repro/internal/parser"
+	"repro/internal/progen"
+	"repro/internal/sema"
+)
+
+func emitFile(t *testing.T, path string) []byte {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lolparser.Parse(path, string(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	out, err := Emit(info)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	return out
+}
+
+// TestEmitTestdata lowers every testdata program to Go and checks the
+// output is parseable Go (Emit already gofmts it; parsing again guards the
+// invariant independently).
+func TestEmitTestdata(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.lol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			out := emitFile(t, f)
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, "gen.go", out, 0); err != nil {
+				t.Fatalf("generated Go does not parse: %v\n%s", err, out)
+			}
+			src := string(out)
+			for _, want := range []string{
+				"package main",
+				"shmem.NewWorld",
+				"world.Run(program)",
+				"func program(pe *shmem.PE) error",
+			} {
+				if !strings.Contains(src, want) {
+					t.Errorf("generated source missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+// TestEmitUsesSlotConstants checks the symmetric-heap layout surfaces as
+// named constants (the Figure 1 layout must be readable in generated code).
+func TestEmitUsesSlotConstants(t *testing.T) {
+	out := string(emitFile(t, filepath.Join("..", "..", "testdata", "fig2.lol")))
+	for _, want := range []string{"slot_a = 0", "slot_b = 1", "slot_c = 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated source missing heap constant %q", want)
+		}
+	}
+}
+
+// TestEmitRandomPrograms fuzzes the emitter with generator programs: every
+// one must lower to parseable Go (Emit gofmts internally; parsing again is
+// the independent check).
+func TestEmitRandomPrograms(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := 0; seed < n; seed++ {
+		src := progen.New(int64(seed)).Program(5)
+		prog, err := lolparser.Parse("rand.lol", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			t.Fatalf("seed %d: sema: %v", seed, err)
+		}
+		out, err := Emit(info)
+		if err != nil {
+			t.Fatalf("seed %d: emit: %v\n%s", seed, err, src)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "gen.go", out, 0); err != nil {
+			t.Fatalf("seed %d: generated Go does not parse: %v", seed, err)
+		}
+	}
+}
+
+// TestEmitRejectsSrs documents the static-lowering limitation.
+func TestEmitRejectsSrs(t *testing.T) {
+	prog, err := lolparser.Parse("srs.lol", "HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emit(info); err == nil || !strings.Contains(err.Error(), "SRS") {
+		t.Fatalf("want SRS rejection, got %v", err)
+	}
+}

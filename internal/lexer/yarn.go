@@ -1,0 +1,111 @@
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// YarnSegment is one piece of a decoded YARN literal: either literal text or
+// a ":{var}" interpolation naming a variable to be stringified at runtime.
+type YarnSegment struct {
+	Text string // literal text (escapes already decoded) when Var == ""
+	Var  string // variable name for an interpolation segment
+}
+
+// DecodeYarn translates the raw interior of a YARN literal into segments,
+// decoding the LOLCODE-1.2 escapes:
+//
+//	:)  newline     :>  tab      :o  bell
+//	:"  quote       ::  colon
+//	:(<hex>)        code point by hex value
+//	:{<var>}        interpolate variable value
+func DecodeYarn(raw string) ([]YarnSegment, error) {
+	var segs []YarnSegment
+	var buf strings.Builder
+	flush := func() {
+		if buf.Len() > 0 {
+			segs = append(segs, YarnSegment{Text: buf.String()})
+			buf.Reset()
+		}
+	}
+	for i := 0; i < len(raw); {
+		c := raw[i]
+		if c != ':' {
+			buf.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(raw) {
+			return nil, fmt.Errorf("trailing ':' in YARN literal")
+		}
+		switch raw[i+1] {
+		case ')':
+			buf.WriteByte('\n')
+			i += 2
+		case '>':
+			buf.WriteByte('\t')
+			i += 2
+		case 'o':
+			buf.WriteByte('\a')
+			i += 2
+		case '"':
+			buf.WriteByte('"')
+			i += 2
+		case ':':
+			buf.WriteByte(':')
+			i += 2
+		case '(':
+			end := strings.IndexByte(raw[i:], ')')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated :(hex) escape")
+			}
+			hex := raw[i+2 : i+end]
+			n, err := strconv.ParseInt(hex, 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad hex escape :(%s)", hex)
+			}
+			buf.WriteRune(rune(n))
+			i += end + 1
+		case '{':
+			end := strings.IndexByte(raw[i:], '}')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated :{var} escape")
+			}
+			name := raw[i+2 : i+end]
+			if name == "" {
+				return nil, fmt.Errorf("empty :{var} escape")
+			}
+			flush()
+			segs = append(segs, YarnSegment{Var: name})
+			i += end + 1
+		default:
+			return nil, fmt.Errorf("unknown YARN escape %q", raw[i:i+2])
+		}
+	}
+	flush()
+	return segs, nil
+}
+
+// EncodeYarn renders s as the raw interior of a YARN literal, escaping the
+// characters that have LOLCODE escape forms.
+func EncodeYarn(s string) string {
+	var buf strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\n':
+			buf.WriteString(":)")
+		case '\t':
+			buf.WriteString(":>")
+		case '\a':
+			buf.WriteString(":o")
+		case '"':
+			buf.WriteString(`:"`)
+		case ':':
+			buf.WriteString("::")
+		default:
+			buf.WriteRune(r)
+		}
+	}
+	return buf.String()
+}

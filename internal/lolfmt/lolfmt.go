@@ -1,0 +1,293 @@
+// Package lolfmt pretty-prints parallel-LOLCODE programs in a canonical
+// style: two-space indentation for nested blocks, one statement per line,
+// keywords printed from the canonical phrase table. It is gofmt for
+// LOLCODE, which a teaching tool badly wants.
+//
+// The formatter guarantees parse(Format(p)) is structurally identical to p
+// (see the round-trip tests). Comments are not preserved: the scanner
+// discards them, and Format says so rather than pretending otherwise.
+package lolfmt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Format renders the program in canonical style.
+func Format(p *ast.Program) string {
+	f := &formatter{}
+	f.line("HAI %s", orDefault(p.Version, "1.2"))
+	for _, u := range p.Uses {
+		f.line("CAN HAS %s?", u.Lib)
+	}
+	f.stmts(p.Body)
+	for _, fn := range p.Funcs {
+		f.line("")
+		f.funcDecl(fn)
+	}
+	f.line("KTHXBYE")
+	return f.buf.String()
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+type formatter struct {
+	buf strings.Builder
+	ind int
+}
+
+func (f *formatter) line(format string, args ...any) {
+	if format == "" {
+		f.buf.WriteByte('\n')
+		return
+	}
+	f.buf.WriteString(strings.Repeat("  ", f.ind))
+	fmt.Fprintf(&f.buf, format, args...)
+	f.buf.WriteByte('\n')
+}
+
+func (f *formatter) stmts(ss []ast.Stmt) {
+	for _, s := range ss {
+		f.stmt(s)
+	}
+}
+
+func typeName(k value.Kind) string { return k.String() }
+
+func pluralType(k value.Kind) string { return k.String() + "S" }
+
+func (f *formatter) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Decl:
+		f.line("%s", declString(n))
+	case *ast.Assign:
+		f.line("%s R %s", expr(n.Target), expr(n.Value))
+	case *ast.CastStmt:
+		f.line("%s IS NOW A %s", expr(n.Target), typeName(n.Type))
+	case *ast.Visible:
+		kw := "VISIBLE"
+		if n.Invisible {
+			kw = "INVISIBLE"
+		}
+		parts := make([]string, 0, len(n.Args))
+		for _, a := range n.Args {
+			parts = append(parts, expr(a))
+		}
+		bang := ""
+		if n.NoNewline {
+			bang = " !"
+		}
+		f.line("%s %s%s", kw, strings.Join(parts, " "), bang)
+	case *ast.Gimmeh:
+		f.line("GIMMEH %s", expr(n.Target))
+	case *ast.ExprStmt:
+		f.line("%s", expr(n.X))
+	case *ast.If:
+		f.line("O RLY?")
+		f.ind++
+		if len(n.Then) > 0 || len(n.Mebbes) > 0 || n.Else != nil {
+			f.line("YA RLY")
+			f.ind++
+			f.stmts(n.Then)
+			f.ind--
+			for _, m := range n.Mebbes {
+				f.line("MEBBE %s", expr(m.Cond))
+				f.ind++
+				f.stmts(m.Body)
+				f.ind--
+			}
+			if n.Else != nil {
+				f.line("NO WAI")
+				f.ind++
+				f.stmts(n.Else)
+				f.ind--
+			}
+		}
+		f.ind--
+		f.line("OIC")
+	case *ast.Switch:
+		f.line("WTF?")
+		f.ind++
+		for _, c := range n.Cases {
+			f.line("OMG %s", expr(c.Lit))
+			f.ind++
+			f.stmts(c.Body)
+			f.ind--
+		}
+		if n.Default != nil {
+			f.line("OMGWTF")
+			f.ind++
+			f.stmts(n.Default)
+			f.ind--
+		}
+		f.ind--
+		f.line("OIC")
+	case *ast.Loop:
+		head := "IM IN YR " + n.Label
+		switch n.Op {
+		case ast.LoopUppin:
+			head += " UPPIN YR " + n.Var
+		case ast.LoopNerfin:
+			head += " NERFIN YR " + n.Var
+		}
+		switch n.CondKind {
+		case ast.CondTil:
+			head += " TIL " + expr(n.Cond)
+		case ast.CondWile:
+			head += " WILE " + expr(n.Cond)
+		}
+		f.line("%s", head)
+		f.ind++
+		f.stmts(n.Body)
+		f.ind--
+		f.line("IM OUTTA YR %s", n.Label)
+	case *ast.Gtfo:
+		f.line("GTFO")
+	case *ast.FoundYr:
+		f.line("FOUND YR %s", expr(n.X))
+	case *ast.FuncDecl:
+		f.funcDecl(n)
+	case *ast.Barrier:
+		f.line("HUGZ")
+	case *ast.Lock:
+		f.line("%s %s", n.Action, expr(n.Var))
+	case *ast.TxtStmt:
+		// The comma is a statement separator, so the predicated statement
+		// may legally follow on its own (indented) line.
+		f.line("TXT MAH BFF %s,", expr(n.Target))
+		f.ind++
+		f.stmt(n.Stmt)
+		f.ind--
+	case *ast.TxtBlock:
+		f.line("TXT MAH BFF %s AN STUFF", expr(n.Target))
+		f.ind++
+		f.stmts(n.Body)
+		f.ind--
+		f.line("TTYL")
+	default:
+		f.line("BTW lolfmt: unhandled statement %T", s)
+	}
+}
+
+func (f *formatter) funcDecl(n *ast.FuncDecl) {
+	head := "HOW IZ I " + n.Name
+	for i, p := range n.Params {
+		if i == 0 {
+			head += " YR " + p
+		} else {
+			head += " AN YR " + p
+		}
+	}
+	f.line("%s", head)
+	f.ind++
+	f.stmts(n.Body)
+	f.ind--
+	f.line("IF U SAY SO")
+}
+
+func declString(n *ast.Decl) string {
+	var b strings.Builder
+	b.WriteString(n.Scope.String())
+	b.WriteByte(' ')
+	b.WriteString(n.Name)
+	switch {
+	case n.IsArray && n.Static:
+		fmt.Fprintf(&b, " ITZ SRSLY LOTZ A %s", pluralType(n.Type))
+	case n.IsArray:
+		fmt.Fprintf(&b, " ITZ LOTZ A %s", pluralType(n.Type))
+	case n.Typed && n.Static:
+		fmt.Fprintf(&b, " ITZ SRSLY A %s", typeName(n.Type))
+	case n.Typed:
+		fmt.Fprintf(&b, " ITZ A %s", typeName(n.Type))
+	case n.Init != nil:
+		fmt.Fprintf(&b, " ITZ %s", expr(n.Init))
+		if n.Sharin {
+			b.WriteString(" AN IM SHARIN IT")
+		}
+		return b.String()
+	}
+	if n.Size != nil {
+		fmt.Fprintf(&b, " AN THAR IZ %s", expr(n.Size))
+	}
+	if n.Init != nil && n.Typed {
+		fmt.Fprintf(&b, " AN ITZ %s", expr(n.Init))
+	}
+	if n.Sharin {
+		b.WriteString(" AN IM SHARIN IT")
+	}
+	return b.String()
+}
+
+// expr renders an expression in canonical prefix form.
+func expr(e ast.Expr) string {
+	switch n := e.(type) {
+	case *ast.NumbrLit:
+		return strconv.FormatInt(n.Value, 10)
+	case *ast.NumbarLit:
+		if n.Text != "" {
+			return n.Text
+		}
+		return strconv.FormatFloat(n.Value, 'g', -1, 64)
+	case *ast.YarnLit:
+		return `"` + n.Raw + `"`
+	case *ast.TroofLit:
+		if n.Value {
+			return "WIN"
+		}
+		return "FAIL"
+	case *ast.NoobLit:
+		return "NOOB"
+	case *ast.VarRef:
+		if n.Space != ast.SpaceDefault {
+			return n.Space.String() + " " + n.Name
+		}
+		return n.Name
+	case *ast.Index:
+		return expr(n.Arr) + "'Z " + expr(n.IndexE)
+	case *ast.BinExpr:
+		return fmt.Sprintf("%v %s AN %s", n.Op, expr(n.X), expr(n.Y))
+	case *ast.UnExpr:
+		return fmt.Sprintf("%v %s", n.Op, expr(n.X))
+	case *ast.NaryExpr:
+		parts := make([]string, len(n.Operands))
+		for i, o := range n.Operands {
+			parts[i] = expr(o)
+		}
+		return fmt.Sprintf("%v %s MKAY", n.Op, strings.Join(parts, " AN "))
+	case *ast.CastExpr:
+		return fmt.Sprintf("MAEK %s A %s", expr(n.X), typeName(n.Type))
+	case *ast.Call:
+		s := "I IZ " + n.Name
+		for i, a := range n.Args {
+			if i == 0 {
+				s += " YR " + expr(a)
+			} else {
+				s += " AN YR " + expr(a)
+			}
+		}
+		return s + " MKAY"
+	case *ast.Srs:
+		if n.Space != ast.SpaceDefault {
+			return n.Space.String() + " SRS " + expr(n.X)
+		}
+		return "SRS " + expr(n.X)
+	case *ast.Me:
+		return "ME"
+	case *ast.MahFrenz:
+		return "MAH FRENZ"
+	case *ast.Whatevr:
+		return "WHATEVR"
+	case *ast.Whatevar:
+		return "WHATEVAR"
+	}
+	return fmt.Sprintf("BTW?%T", e)
+}

@@ -1,0 +1,78 @@
+package lolfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// TestRoundTrip checks the formatter's core invariant on every testdata
+// program: parse(Format(parse(src))) is structurally identical to
+// parse(src), and Format is idempotent.
+func TestRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.lol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, err := parser.Parse(f, string(src))
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			formatted := Format(p1)
+			p2, err := parser.Parse(f+".fmt", formatted)
+			if err != nil {
+				t.Fatalf("re-parse formatted source: %v\n--- formatted ---\n%s", err, formatted)
+			}
+			if d1, d2 := ast.Dump(p1), ast.Dump(p2); d1 != d2 {
+				t.Errorf("round trip changed structure:\noriginal:  %s\nformatted: %s\n--- formatted source ---\n%s", d1, d2, formatted)
+			}
+			again := Format(p2)
+			if again != formatted {
+				t.Errorf("Format is not idempotent:\nfirst:\n%s\nsecond:\n%s", formatted, again)
+			}
+		})
+	}
+}
+
+// TestFormatConstructs spot-checks canonical renderings.
+func TestFormatConstructs(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{
+			"HAI 1.2\nI HAS A x ITZ SRSLY A NUMBAR AN ITZ 0.001\nKTHXBYE",
+			"HAI 1.2\nI HAS A x ITZ SRSLY A NUMBAR AN ITZ 0.001\nKTHXBYE\n",
+		},
+		{
+			"HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32 AN IM SHARIN IT\nKTHXBYE",
+			"HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32 AN IM SHARIN IT\nKTHXBYE\n",
+		},
+		{
+			"HAI 1.2\nHUGZ\nKTHXBYE",
+			"HAI 1.2\nHUGZ\nKTHXBYE\n",
+		},
+	}
+	for _, c := range cases {
+		p, err := parser.Parse("t.lol", c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := Format(p); got != c.want {
+			t.Errorf("Format(%q) =\n%q\nwant\n%q", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package machine provides latency models for the platforms the paper runs
+// on: a plain shared-memory host, the 16-core Epiphany-III of the $99
+// Parallella board, and a Cray XC40 class supercomputer.
+//
+// A model translates one-sided PGAS operations (put, get, lock, barrier)
+// into simulated nanoseconds. The shmem runtime charges these costs to the
+// calling PE's simulated clock, so experiments can report paper-shaped
+// results (remote access is distance-dependent on the mesh, cheap within a
+// node, expensive across a supercomputer fabric) without owning the
+// hardware.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/noc"
+)
+
+// Model prices one-sided operations in simulated nanoseconds.
+type Model interface {
+	// Name identifies the model ("smp", "parallella", "xc40").
+	Name() string
+	// PutNanos is the cost of writing bytes from PE src into PE dst.
+	PutNanos(src, dst, bytes int) float64
+	// GetNanos is the cost of reading bytes on PE src from PE dst.
+	GetNanos(src, dst, bytes int) float64
+	// LockNanos is the cost of one lock protocol message from PE src to the
+	// lock's home PE.
+	LockNanos(src, home int) float64
+	// BarrierNanos is the cost of one barrier across n PEs.
+	BarrierNanos(n int) float64
+}
+
+// SMP is the zero-cost model: a plain shared-memory host where the Go
+// scheduler provides the only timing. It is the default for correctness
+// tests.
+type SMP struct{}
+
+// Name implements Model.
+func (SMP) Name() string { return "smp" }
+
+// PutNanos implements Model.
+func (SMP) PutNanos(src, dst, bytes int) float64 { return 0 }
+
+// GetNanos implements Model.
+func (SMP) GetNanos(src, dst, bytes int) float64 { return 0 }
+
+// LockNanos implements Model.
+func (SMP) LockNanos(src, home int) float64 { return 0 }
+
+// BarrierNanos implements Model.
+func (SMP) BarrierNanos(n int) float64 { return 0 }
+
+// Parallella models the 16-core Epiphany-III coprocessor: a 4x4 mesh NoC
+// at 600 MHz where writes are cheap single-cycle hops and reads are
+// round trips roughly 8x slower, exactly the asymmetry the Epiphany
+// documentation describes.
+type Parallella struct {
+	mesh     *noc.Mesh
+	clockGHz float64
+}
+
+// NewParallella returns the 16-core Epiphany-III model.
+func NewParallella() *Parallella {
+	m, err := noc.New(noc.DefaultEpiphanyConfig())
+	if err != nil {
+		panic(err) // static config cannot fail
+	}
+	return &Parallella{mesh: m, clockGHz: 0.6}
+}
+
+// NewParallellaMesh returns an Epiphany-style model over an arbitrary mesh,
+// e.g. 8x8 for the Epiphany-IV.
+func NewParallellaMesh(w, h int) (*Parallella, error) {
+	cfg := noc.DefaultEpiphanyConfig()
+	cfg.Width, cfg.Height = w, h
+	m, err := noc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Parallella{mesh: m, clockGHz: 0.6}, nil
+}
+
+// Name implements Model.
+func (p *Parallella) Name() string { return "parallella" }
+
+// Mesh exposes the underlying NoC for traffic inspection.
+func (p *Parallella) Mesh() *noc.Mesh { return p.mesh }
+
+func (p *Parallella) cyclesToNanos(c float64) float64 { return c / p.clockGHz }
+
+func (p *Parallella) wrap(pe int) int { return pe % p.mesh.Cores() }
+
+// PutNanos implements Model.
+func (p *Parallella) PutNanos(src, dst, bytes int) float64 {
+	return p.cyclesToNanos(p.mesh.WriteCycles(p.wrap(src), p.wrap(dst), bytes))
+}
+
+// GetNanos implements Model.
+func (p *Parallella) GetNanos(src, dst, bytes int) float64 {
+	return p.cyclesToNanos(p.mesh.ReadCycles(p.wrap(src), p.wrap(dst), bytes))
+}
+
+// LockNanos implements Model: one round trip to the lock home.
+func (p *Parallella) LockNanos(src, home int) float64 {
+	return p.cyclesToNanos(p.mesh.ReadCycles(p.wrap(src), p.wrap(home), 8))
+}
+
+// BarrierNanos implements Model: a dissemination barrier pays log2(n)
+// rounds of one-word writes across the mesh diameter on average.
+func (p *Parallella) BarrierNanos(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	avgHop := float64(p.mesh.Config().Width+p.mesh.Config().Height) / 2
+	return p.cyclesToNanos(rounds * avgHop * 2)
+}
+
+// XC40 models a Cray XC40: PEs pack into nodes, nodes into electrical
+// groups, groups join over the optical Aries dragonfly fabric. Latency is
+// hierarchical and bandwidth is charged per byte.
+type XC40 struct {
+	// PEsPerNode is the number of PEs sharing one node's memory.
+	PEsPerNode int
+	// NodesPerGroup is the number of nodes in one electrical group.
+	NodesPerGroup int
+
+	// Latencies in nanoseconds for the three locality classes.
+	IntraNodeNanos  float64
+	IntraGroupNanos float64
+	GlobalNanos     float64
+
+	// BytesPerNano is the injection bandwidth (bytes per simulated ns).
+	BytesPerNano float64
+}
+
+// NewXC40 returns a model shaped like the paper's 101,312-core Cray XC40:
+// 32 PEs per node, 96 nodes per group, ~0.25/1.4/2.2 microsecond latency
+// tiers and ~10 GB/s injection bandwidth.
+func NewXC40() *XC40 {
+	return &XC40{
+		PEsPerNode:      32,
+		NodesPerGroup:   96,
+		IntraNodeNanos:  250,
+		IntraGroupNanos: 1400,
+		GlobalNanos:     2200,
+		BytesPerNano:    10,
+	}
+}
+
+// Name implements Model.
+func (x *XC40) Name() string { return "xc40" }
+
+func (x *XC40) classNanos(src, dst int) float64 {
+	srcNode := src / x.PEsPerNode
+	dstNode := dst / x.PEsPerNode
+	if srcNode == dstNode {
+		return x.IntraNodeNanos
+	}
+	if srcNode/x.NodesPerGroup == dstNode/x.NodesPerGroup {
+		return x.IntraGroupNanos
+	}
+	return x.GlobalNanos
+}
+
+// PutNanos implements Model.
+func (x *XC40) PutNanos(src, dst, bytes int) float64 {
+	if src == dst {
+		return 0
+	}
+	return x.classNanos(src, dst) + float64(bytes)/x.BytesPerNano
+}
+
+// GetNanos implements Model: a get is a round trip, so it pays the latency
+// twice plus the data movement.
+func (x *XC40) GetNanos(src, dst, bytes int) float64 {
+	if src == dst {
+		return 0
+	}
+	return 2*x.classNanos(src, dst) + float64(bytes)/x.BytesPerNano
+}
+
+// LockNanos implements Model.
+func (x *XC40) LockNanos(src, home int) float64 {
+	if src == home {
+		return x.IntraNodeNanos
+	}
+	return 2 * x.classNanos(src, home)
+}
+
+// BarrierNanos implements Model: log2(n) rounds at the global latency once
+// more than one group is involved.
+func (x *XC40) BarrierNanos(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(n)))
+	tier := x.IntraNodeNanos
+	if n > x.PEsPerNode {
+		tier = x.IntraGroupNanos
+	}
+	if n > x.PEsPerNode*x.NodesPerGroup {
+		tier = x.GlobalNanos
+	}
+	return rounds * tier
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Model{
+		"smp":        func() Model { return SMP{} },
+		"parallella": func() Model { return NewParallella() },
+		"xc40":       func() Model { return NewXC40() },
+		// The 64-core Epiphany-IV the Parallella documentation also ships;
+		// same NoC rules on an 8x8 mesh.
+		"parallella64": func() Model {
+			m, err := NewParallellaMesh(8, 8)
+			if err != nil {
+				panic(err) // static geometry cannot fail
+			}
+			return m
+		},
+	}
+)
+
+// Register installs a named model constructor (test hooks, new targets).
+func Register(name string, mk func() Model) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = mk
+}
+
+// ByName constructs the model registered under name.
+func ByName(name string) (Model, error) {
+	registryMu.RLock()
+	mk, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown model %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return mk(), nil
+}
+
+// Names lists the registered model names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"smp", "parallella", "xc40"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("model name = %q, want %q", m.Name(), name)
+		}
+	}
+	if _, err := ByName("cray-1"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	names := Names()
+	if len(names) < 3 {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestSMPIsFree(t *testing.T) {
+	m := SMP{}
+	if m.PutNanos(0, 5, 100) != 0 || m.GetNanos(0, 5, 100) != 0 ||
+		m.LockNanos(0, 1) != 0 || m.BarrierNanos(64) != 0 {
+		t.Error("SMP model must be zero-cost")
+	}
+}
+
+func TestParallellaShape(t *testing.T) {
+	p := NewParallella()
+	// Local access free; remote gets cost more than puts; farther costs more.
+	if p.PutNanos(3, 3, 8) != 0 {
+		t.Error("local put should be free")
+	}
+	put := p.PutNanos(0, 1, 8)
+	get := p.GetNanos(0, 1, 8)
+	if put <= 0 || get <= put {
+		t.Errorf("put=%v get=%v: want 0 < put < get (reads are round trips)", put, get)
+	}
+	near := p.PutNanos(0, 1, 8)
+	far := p.PutNanos(0, 15, 8)
+	if far <= near {
+		t.Errorf("corner-to-corner put %v should cost more than neighbour put %v", far, near)
+	}
+	if p.BarrierNanos(16) <= p.BarrierNanos(2) {
+		t.Error("barrier cost should grow with PE count")
+	}
+	// PEs beyond the 16-core mesh wrap, mirroring oversubscription.
+	if p.PutNanos(16, 17, 8) != p.PutNanos(0, 1, 8) {
+		t.Error("PE ids should wrap onto the mesh")
+	}
+}
+
+func TestXC40LocalityTiers(t *testing.T) {
+	x := NewXC40()
+	sameNode := x.PutNanos(0, 1, 8)
+	sameGroup := x.PutNanos(0, x.PEsPerNode, 8)
+	global := x.PutNanos(0, x.PEsPerNode*x.NodesPerGroup, 8)
+	if !(sameNode < sameGroup && sameGroup < global) {
+		t.Errorf("locality tiers broken: node=%v group=%v global=%v", sameNode, sameGroup, global)
+	}
+	if x.GetNanos(0, 1, 8) <= x.PutNanos(0, 1, 8) {
+		t.Error("gets are round trips and must cost more than puts")
+	}
+	if x.PutNanos(5, 5, 1<<20) != 0 {
+		t.Error("self put should be free")
+	}
+	big := x.PutNanos(0, 1, 1<<20)
+	small := x.PutNanos(0, 1, 8)
+	if big <= small {
+		t.Error("bandwidth term missing: 1MB transfer priced like 8B")
+	}
+}
+
+func TestXC40BarrierScales(t *testing.T) {
+	x := NewXC40()
+	small := x.BarrierNanos(16)
+	large := x.BarrierNanos(100_000) // paper-scale core count
+	if large <= small {
+		t.Errorf("100k-PE barrier %v should cost more than 16-PE %v", large, small)
+	}
+	if x.BarrierNanos(1) != 0 {
+		t.Error("1-PE barrier should be free")
+	}
+}
+
+func TestRegisterCustomModel(t *testing.T) {
+	Register("test-model", func() Model { return SMP{} })
+	if _, err := ByName("test-model"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package noc simulates a 2D-mesh network-on-chip in the style of the
+// Adapteva Epiphany-III used by the paper's Parallella target.
+//
+// The Epiphany joins its RISC cores with three meshes: the cMesh carries
+// on-chip writes (one hop per cycle), the rMesh carries read requests
+// (reads are round trips and roughly 8x slower), and the xMesh carries
+// off-chip traffic. Routing is dimension-order (X then Y). This package
+// reproduces the latency structure and exposes per-link traffic counters so
+// experiments can observe congestion; it does not model flit-level timing.
+package noc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Dir is a mesh link direction.
+type Dir int
+
+// The four mesh directions.
+const (
+	East Dir = iota
+	West
+	North
+	South
+	numDirs
+)
+
+func (d Dir) String() string {
+	switch d {
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case North:
+		return "N"
+	case South:
+		return "S"
+	}
+	return "?"
+}
+
+// Config sets the mesh geometry and per-hop timing.
+type Config struct {
+	Width  int // columns
+	Height int // rows
+
+	// WriteHopCycles is the cMesh cost of one hop for a write.
+	// The Epiphany cMesh moves 8 bytes/cycle in the direction of travel.
+	WriteHopCycles float64
+
+	// ReadHopCycles is the rMesh per-hop cost of the request leg of a read;
+	// the reply returns on the cMesh. Epiphany reads are documented as
+	// roughly 8x slower than writes.
+	ReadHopCycles float64
+
+	// RouterCycles is the fixed per-router traversal cost added once per
+	// message.
+	RouterCycles float64
+
+	// BytesPerFlit is the payload carried per mesh transaction; larger
+	// transfers pay proportionally more cycles.
+	BytesPerFlit int
+}
+
+// DefaultEpiphanyConfig mirrors the Epiphany-III: a 4x4 mesh, single-cycle
+// write hops, reads ~8x the cost of writes, 8-byte flits.
+func DefaultEpiphanyConfig() Config {
+	return Config{
+		Width:          4,
+		Height:         4,
+		WriteHopCycles: 1.0,
+		ReadHopCycles:  8.0,
+		RouterCycles:   1.5,
+		BytesPerFlit:   8,
+	}
+}
+
+// Mesh is a W x H grid of routers with directed links between neighbours.
+type Mesh struct {
+	cfg Config
+
+	// traffic[core*numDirs+dir] counts bytes forwarded on each directed
+	// link, updated atomically so concurrent PEs can route while
+	// experiments read totals.
+	traffic []atomic.Int64
+
+	msgs atomic.Int64 // total routed messages
+}
+
+// New constructs a mesh from cfg.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.BytesPerFlit <= 0 {
+		cfg.BytesPerFlit = 8
+	}
+	return &Mesh{
+		cfg:     cfg,
+		traffic: make([]atomic.Int64, cfg.Width*cfg.Height*int(numDirs)),
+	}, nil
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Cores returns the number of cores (routers) in the mesh.
+func (m *Mesh) Cores() int { return m.cfg.Width * m.cfg.Height }
+
+// Coord maps a core id to its (col, row) position, row-major like the
+// Epiphany core id scheme.
+func (m *Mesh) Coord(core int) (col, row int) {
+	return core % m.cfg.Width, core / m.cfg.Width
+}
+
+// CoreAt maps (col, row) back to a core id.
+func (m *Mesh) CoreAt(col, row int) int { return row*m.cfg.Width + col }
+
+// Hops returns the Manhattan distance between two cores, the hop count of
+// the dimension-order route.
+func (m *Mesh) Hops(src, dst int) int {
+	sc, sr := m.Coord(src)
+	dc, dr := m.Coord(dst)
+	return abs(sc-dc) + abs(sr-dr)
+}
+
+// Route returns the dimension-order (X then Y) path from src to dst as a
+// core sequence, including both endpoints.
+func (m *Mesh) Route(src, dst int) []int {
+	sc, sr := m.Coord(src)
+	dc, dr := m.Coord(dst)
+	path := []int{src}
+	c, r := sc, sr
+	for c != dc {
+		if c < dc {
+			c++
+		} else {
+			c--
+		}
+		path = append(path, m.CoreAt(c, r))
+	}
+	for r != dr {
+		if r < dr {
+			r++
+		} else {
+			r--
+		}
+		path = append(path, m.CoreAt(c, r))
+	}
+	return path
+}
+
+func (m *Mesh) linkIndex(core int, d Dir) int { return core*int(numDirs) + int(d) }
+
+// recordRoute adds bytes of traffic along every directed link of the route.
+func (m *Mesh) recordRoute(src, dst, bytes int) {
+	if src == dst {
+		return
+	}
+	path := m.Route(src, dst)
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		ac, ar := m.Coord(a)
+		bc, br := m.Coord(b)
+		var d Dir
+		switch {
+		case bc > ac:
+			d = East
+		case bc < ac:
+			d = West
+		case br > ar:
+			d = South
+		default:
+			d = North
+		}
+		m.traffic[m.linkIndex(a, d)].Add(int64(bytes))
+	}
+	m.msgs.Add(1)
+}
+
+// flits returns the transaction count for a payload of the given size.
+func (m *Mesh) flits(bytes int) float64 {
+	if bytes <= 0 {
+		return 1
+	}
+	f := (bytes + m.cfg.BytesPerFlit - 1) / m.cfg.BytesPerFlit
+	return float64(f)
+}
+
+// WriteCycles returns the simulated cycle cost of a one-sided write of the
+// given size and records its traffic.
+func (m *Mesh) WriteCycles(src, dst, bytes int) float64 {
+	if src == dst {
+		return 0
+	}
+	m.recordRoute(src, dst, bytes)
+	hops := float64(m.Hops(src, dst))
+	return m.cfg.RouterCycles + hops*m.cfg.WriteHopCycles*m.flits(bytes)
+}
+
+// ReadCycles returns the simulated cycle cost of a one-sided read: a
+// request on the rMesh plus the data reply on the cMesh.
+func (m *Mesh) ReadCycles(src, dst, bytes int) float64 {
+	if src == dst {
+		return 0
+	}
+	m.recordRoute(src, dst, 4) // request header
+	m.recordRoute(dst, src, bytes)
+	hops := float64(m.Hops(src, dst))
+	return 2*m.cfg.RouterCycles +
+		hops*m.cfg.ReadHopCycles + // request leg
+		hops*m.cfg.WriteHopCycles*m.flits(bytes) // reply leg
+}
+
+// LinkTraffic returns the bytes forwarded on the directed link leaving core
+// in direction d.
+func (m *Mesh) LinkTraffic(core int, d Dir) int64 {
+	return m.traffic[m.linkIndex(core, d)].Load()
+}
+
+// TotalTraffic returns the bytes summed over all links and the number of
+// routed messages.
+func (m *Mesh) TotalTraffic() (bytes, msgs int64) {
+	for i := range m.traffic {
+		bytes += m.traffic[i].Load()
+	}
+	return bytes, m.msgs.Load()
+}
+
+// ResetTraffic zeroes all counters.
+func (m *Mesh) ResetTraffic() {
+	for i := range m.traffic {
+		m.traffic[i].Store(0)
+	}
+	m.msgs.Store(0)
+}
+
+// HottestLink returns the most loaded directed link and its byte count.
+func (m *Mesh) HottestLink() (core int, d Dir, bytes int64) {
+	for c := 0; c < m.Cores(); c++ {
+		for dd := Dir(0); dd < numDirs; dd++ {
+			if t := m.LinkTraffic(c, dd); t > bytes {
+				core, d, bytes = c, dd, t
+			}
+		}
+	}
+	return core, d, bytes
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

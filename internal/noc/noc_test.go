@@ -1,0 +1,157 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newMesh(t *testing.T, w, h int) *Mesh {
+	t.Helper()
+	cfg := DefaultEpiphanyConfig()
+	cfg.Width, cfg.Height = w, h
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 2}} {
+		cfg := DefaultEpiphanyConfig()
+		cfg.Width, cfg.Height = dims[0], dims[1]
+		if _, err := New(cfg); err == nil {
+			t.Errorf("accepted %dx%d mesh", dims[0], dims[1])
+		}
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	for core := 0; core < m.Cores(); core++ {
+		c, r := m.Coord(core)
+		if got := m.CoreAt(c, r); got != core {
+			t.Errorf("CoreAt(Coord(%d)) = %d", core, got)
+		}
+	}
+}
+
+func TestRouteIsDimensionOrder(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	// core 1 = (1,0), core 14 = (2,3): X first to col 2, then Y down.
+	path := m.Route(1, 14)
+	want := []int{1, 2, 6, 10, 14}
+	if len(path) != len(want) {
+		t.Fatalf("route = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("route = %v, want %v", path, want)
+		}
+	}
+}
+
+// Property: route length equals Manhattan distance + 1, endpoints match,
+// and each step moves exactly one hop.
+func TestPropertyRouteManhattan(t *testing.T) {
+	m := newMesh(t, 8, 8)
+	f := func(a, b uint8) bool {
+		src := int(a) % m.Cores()
+		dst := int(b) % m.Cores()
+		path := m.Route(src, dst)
+		if len(path) != m.Hops(src, dst)+1 {
+			return false
+		}
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if m.Hops(path[i], path[i+1]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCostsMoreThanWrite(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	for _, pair := range [][2]int{{0, 1}, {0, 15}, {5, 10}} {
+		w := m.WriteCycles(pair[0], pair[1], 8)
+		r := m.ReadCycles(pair[0], pair[1], 8)
+		if r <= w {
+			t.Errorf("read %v->%v = %.1f cycles, not above write %.1f (Epiphany reads are ~8x writes)",
+				pair[0], pair[1], r, w)
+		}
+	}
+}
+
+func TestLocalAccessIsFree(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	if c := m.WriteCycles(3, 3, 8); c != 0 {
+		t.Errorf("local write cost = %v", c)
+	}
+	if c := m.ReadCycles(3, 3, 8); c != 0 {
+		t.Errorf("local read cost = %v", c)
+	}
+}
+
+func TestCostGrowsWithDistance(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	near := m.WriteCycles(0, 1, 8) // 1 hop
+	far := m.WriteCycles(0, 15, 8) // 6 hops
+	if far <= near {
+		t.Errorf("6-hop write %.1f should cost more than 1-hop %.1f", far, near)
+	}
+}
+
+func TestCostGrowsWithPayload(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	small := m.WriteCycles(0, 3, 8)
+	big := m.WriteCycles(0, 3, 256)
+	if big <= small {
+		t.Errorf("256B write %.1f should cost more than 8B %.1f", big, small)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := newMesh(t, 4, 4)
+	m.WriteCycles(0, 3, 8) // 3 hops east along row 0
+	if got := m.LinkTraffic(0, East); got != 8 {
+		t.Errorf("link 0->E carried %d bytes, want 8", got)
+	}
+	if got := m.LinkTraffic(1, East); got != 8 {
+		t.Errorf("link 1->E carried %d bytes, want 8", got)
+	}
+	bytes, msgs := m.TotalTraffic()
+	if bytes != 24 || msgs != 1 {
+		t.Errorf("total = (%d bytes, %d msgs), want (24, 1)", bytes, msgs)
+	}
+	core, dir, hot := m.HottestLink()
+	if hot != 8 {
+		t.Errorf("hottest link %d %v = %d bytes", core, dir, hot)
+	}
+	m.ResetTraffic()
+	if bytes, msgs := m.TotalTraffic(); bytes != 0 || msgs != 0 {
+		t.Errorf("after reset: %d bytes, %d msgs", bytes, msgs)
+	}
+}
+
+// Property: total traffic from a write equals bytes * hops.
+func TestPropertyTrafficConservation(t *testing.T) {
+	f := func(a, b uint8, sz uint8) bool {
+		m := newMesh(t, 4, 4)
+		src := int(a) % 16
+		dst := int(b) % 16
+		bytes := int(sz)%64 + 1
+		m.WriteCycles(src, dst, bytes)
+		total, _ := m.TotalTraffic()
+		return total == int64(bytes*m.Hops(src, dst))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// TestParseTestdata parses every .lol program under testdata/ and runs
+// semantic analysis; the suite includes the paper's §VI listings verbatim.
+func TestParseTestdata(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.lol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Parse(f, string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := sema.Check(prog); err != nil {
+				t.Fatalf("sema: %v", err)
+			}
+		})
+	}
+}
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.lol", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestParseDeclarationForms(t *testing.T) {
+	prog := mustParse(t, `HAI 1.2
+I HAS A a
+I HAS A b ITZ 5
+I HAS A c ITZ A NUMBR
+I HAS A d ITZ A NUMBR AN ITZ ME
+I HAS A e ITZ SRSLY A NUMBAR AN ITZ 0.5
+I HAS A f ITZ LOTZ A NUMBRS AN THAR IZ 8
+WE HAS A g ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A h ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32 AN IM SHARIN IT
+KTHXBYE`)
+	if len(prog.Body) != 8 {
+		t.Fatalf("got %d statements, want 8", len(prog.Body))
+	}
+	d := prog.Body[7].(*ast.Decl)
+	if d.Scope != ast.ScopeWe || !d.Static || !d.IsArray || !d.Sharin {
+		t.Errorf("decl h: got %+v", d)
+	}
+	if d.Size == nil {
+		t.Error("decl h: missing THAR IZ size")
+	}
+}
+
+func TestParseTxtForms(t *testing.T) {
+	prog := mustParse(t, `HAI 1.2
+WE HAS A x ITZ SRSLY A NUMBR
+TXT MAH BFF 1, MAH x R UR x
+TXT MAH BFF 2 AN STUFF
+  MAH x R UR x
+TTYL
+KTHXBYE`)
+	if _, ok := prog.Body[1].(*ast.TxtStmt); !ok {
+		t.Errorf("statement 1: got %T, want *ast.TxtStmt", prog.Body[1])
+	}
+	if _, ok := prog.Body[2].(*ast.TxtBlock); !ok {
+		t.Errorf("statement 2: got %T, want *ast.TxtBlock", prog.Body[2])
+	}
+}
+
+func TestSemaRejectsUnpredicatedUr(t *testing.T) {
+	prog := mustParse(t, `HAI 1.2
+WE HAS A x ITZ SRSLY A NUMBR
+UR x R 5
+KTHXBYE`)
+	if _, err := sema.Check(prog); err == nil {
+		t.Fatal("sema accepted UR outside TXT MAH BFF")
+	}
+}
+
+func TestSemaRejectsLockWithoutSharin(t *testing.T) {
+	prog := mustParse(t, `HAI 1.2
+WE HAS A x ITZ SRSLY A NUMBR
+IM SRSLY MESIN WIF x
+KTHXBYE`)
+	if _, err := sema.Check(prog); err == nil {
+		t.Fatal("sema accepted a lock on a variable without IM SHARIN IT")
+	}
+}

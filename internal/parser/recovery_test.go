@@ -1,0 +1,120 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+// TestErrorRecoveryReportsMultiple verifies the parser keeps going after a
+// bad statement and reports several diagnostics in one pass — the behaviour
+// a teaching tool needs.
+func TestErrorRecoveryReportsMultiple(t *testing.T) {
+	_, err := Parse("t.lol", `HAI 1.2
+I HAS A
+VISIBLE "fine"
+GIMMEH 42
+VISIBLE "also fine"
+I HAS A ok ITZ
+KTHXBYE`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type %T, want ErrorList", err)
+	}
+	if len(list) < 2 {
+		t.Fatalf("got %d errors, want at least 2: %v", len(list), list)
+	}
+	// Each error carries a position in the right file.
+	for _, e := range list {
+		if e.Pos.File != "t.lol" || e.Pos.Line == 0 {
+			t.Errorf("error without position: %v", e)
+		}
+	}
+}
+
+func TestErrorCap(t *testing.T) {
+	// A pathological file must not produce unbounded errors.
+	var b strings.Builder
+	b.WriteString("HAI 1.2\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString("GIMMEH 42\n")
+	}
+	b.WriteString("KTHXBYE\n")
+	_, err := Parse("t.lol", b.String())
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if list := err.(ErrorList); len(list) > 25 {
+		t.Errorf("got %d errors; recovery should cap around %d", len(list), 20)
+	}
+}
+
+func TestMissingKthxbye(t *testing.T) {
+	_, err := Parse("t.lol", "HAI 1.2\nVISIBLE 1\n")
+	if err == nil || !strings.Contains(err.Error(), "KTHXBYE") {
+		t.Errorf("want KTHXBYE diagnostic, got %v", err)
+	}
+}
+
+func TestTrailingInputAfterKthxbye(t *testing.T) {
+	_, err := Parse("t.lol", "HAI 1.2\nKTHXBYE\nVISIBLE 1\n")
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("want trailing-input diagnostic, got %v", err)
+	}
+}
+
+func TestUnclosedConstructs(t *testing.T) {
+	cases := []string{
+		"HAI 1.2\nO RLY?\nYA RLY\nVISIBLE 1\nKTHXBYE",         // missing OIC
+		"HAI 1.2\nIM IN YR l\nVISIBLE 1\nKTHXBYE",             // missing IM OUTTA YR
+		"HAI 1.2\nHOW IZ I f\nFOUND YR 1\nKTHXBYE",            // missing IF U SAY SO
+		"HAI 1.2\nTXT MAH BFF 0 AN STUFF\nVISIBLE 1\nKTHXBYE", // missing TTYL
+		"HAI 1.2\nWTF?\nOMG 1\nVISIBLE 1\nKTHXBYE",            // missing OIC
+	}
+	for _, src := range cases {
+		if _, err := Parse("t.lol", src); err == nil {
+			t.Errorf("parser accepted unclosed construct:\n%s", src)
+		}
+	}
+}
+
+func TestLoopLabelMismatchDiagnosed(t *testing.T) {
+	_, err := Parse("t.lol", "HAI 1.2\nIM IN YR a\nGTFO\nIM OUTTA YR b\nKTHXBYE")
+	if err == nil || !strings.Contains(err.Error(), "label mismatch") {
+		t.Errorf("want label-mismatch diagnostic, got %v", err)
+	}
+}
+
+// TestPositionsOnStatements spot-checks that parsed nodes carry accurate
+// line/column positions for diagnostics.
+func TestPositionsOnStatements(t *testing.T) {
+	prog := mustParse(t, "HAI 1.2\nVISIBLE 1\n  HUGZ\nKTHXBYE")
+	if got := prog.Body[0].Pos(); got.Line != 2 || got.Col != 1 {
+		t.Errorf("VISIBLE at %v, want 2:1", got)
+	}
+	if got := prog.Body[1].Pos(); got.Line != 3 || got.Col != 3 {
+		t.Errorf("HUGZ at %v, want 3:3", got)
+	}
+}
+
+// TestTokenPhraseTable guards the keyword table: every phrase must be
+// non-empty, unique, and made of upper-case words.
+func TestTokenPhraseTable(t *testing.T) {
+	seen := map[string]token.Kind{}
+	for kind, phrase := range token.Phrases {
+		if phrase == "" {
+			t.Errorf("kind %v has empty phrase", kind)
+		}
+		if prev, dup := seen[phrase]; dup {
+			t.Errorf("phrase %q maps to both %v and %v", phrase, prev, kind)
+		}
+		seen[phrase] = kind
+		if phrase != strings.ToUpper(phrase) {
+			t.Errorf("phrase %q is not upper-case", phrase)
+		}
+	}
+}

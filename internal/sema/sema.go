@@ -1,0 +1,472 @@
+// Package sema performs semantic analysis over a parsed parallel-LOLCODE
+// program: symbol resolution, scope construction, and the legality rules of
+// the paper's SPMD/PGAS extensions (symmetric declarations must be
+// collective, UR/MAH only under TXT MAH BFF predication, locks only on
+// IM SHARIN IT symbols).
+//
+// The analysis also assigns frame slots to every symbol and a symmetric
+// heap index to every WE HAS A symbol; the interpreter, the closure
+// compiler and the Go emitter all consume this layout, which is exactly the
+// per-PE symmetric layout of the paper's Figure 1.
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/value"
+)
+
+// Error is a semantic error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects semantic errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// SymKind classifies a resolved symbol.
+type SymKind int
+
+const (
+	SymPrivate SymKind = iota // I HAS A: per-PE private variable
+	SymShared                 // WE HAS A: symmetric shared variable (PGAS)
+	SymParam                  // HOW IZ I parameter
+	SymLoopVar                // implicitly declared loop counter
+	SymIt                     // the implicit IT result variable
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymPrivate:
+		return "private"
+	case SymShared:
+		return "shared"
+	case SymParam:
+		return "param"
+	case SymLoopVar:
+		return "loopvar"
+	case SymIt:
+		return "IT"
+	}
+	return "?"
+}
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name    string
+	Kind    SymKind
+	Decl    *ast.Decl // nil for params, loop vars and IT
+	Static  bool      // ITZ SRSLY A: statically typed
+	Type    value.Kind
+	IsArray bool
+	Sharin  bool // AN IM SHARIN IT: has an implicit lock
+	Slot    int  // index into the owning frame
+	Heap    int  // symmetric heap index for shared symbols; -1 otherwise
+	Lock    int  // lock index for Sharin symbols; -1 otherwise
+}
+
+// Scope is a flat name table for one frame (the main program or one
+// function body). LOLCODE scoping is function-flat; loop variables are the
+// only block-scoped names and are handled by the resolver.
+type Scope struct {
+	Names map[string]*Symbol
+	Order []*Symbol // slot order
+}
+
+func newScope() *Scope { return &Scope{Names: make(map[string]*Symbol)} }
+
+func (s *Scope) declare(sym *Symbol) {
+	sym.Slot = len(s.Order)
+	s.Names[sym.Name] = sym
+	s.Order = append(s.Order, sym)
+}
+
+// FuncInfo is the analysis result for one HOW IZ I declaration.
+type FuncInfo struct {
+	Decl  *ast.FuncDecl
+	Scope *Scope
+}
+
+// Info is the full analysis result consumed by all backends.
+type Info struct {
+	Prog  *ast.Program
+	Main  *Scope
+	Funcs map[string]*FuncInfo
+
+	// Refs annotates resolved nodes with their symbols: *ast.VarRef
+	// references, *ast.Decl declarations, and *ast.Loop counter variables.
+	Refs map[ast.Node]*Symbol
+
+	// Shared lists the symmetric symbols in declaration order: the
+	// symmetric heap layout shared by every PE (paper Figure 1).
+	Shared []*Symbol
+
+	// Locks lists the Sharin symbols in declaration order; index is the
+	// lock id used by the runtime.
+	Locks []*Symbol
+}
+
+type checker struct {
+	info *Info
+	errs ErrorList
+
+	scope       *Scope // current frame scope
+	inFunc      bool
+	loopDepth   int
+	switchDepth int
+	predicated  int  // nesting depth of TXT MAH BFF
+	topLevel    bool // directly in the main body (for WE HAS A placement)
+}
+
+// Check analyses prog and returns the binding information.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Prog:  prog,
+			Main:  newScope(),
+			Funcs: make(map[string]*FuncInfo),
+			Refs:  make(map[ast.Node]*Symbol),
+		},
+	}
+
+	// IT exists in every frame.
+	c.scope = c.info.Main
+	c.scope.declare(&Symbol{Name: "IT", Kind: SymIt, Heap: -1, Lock: -1})
+
+	// Functions are hoisted: declare headers first so calls resolve in any
+	// order.
+	for _, fd := range prog.Funcs {
+		if _, dup := c.info.Funcs[fd.Name]; dup {
+			c.errorf(fd.Position, "function %s declared twice", fd.Name)
+			continue
+		}
+		c.info.Funcs[fd.Name] = &FuncInfo{Decl: fd}
+	}
+
+	c.topLevel = true
+	c.stmts(prog.Body)
+	c.topLevel = false
+
+	for _, fd := range prog.Funcs {
+		fi := c.info.Funcs[fd.Name]
+		if fi == nil || fi.Decl != fd {
+			continue // duplicate
+		}
+		fi.Scope = newScope()
+		saved := c.scope
+		c.scope = fi.Scope
+		c.scope.declare(&Symbol{Name: "IT", Kind: SymIt, Heap: -1, Lock: -1})
+		for _, pname := range fd.Params {
+			if _, dup := c.scope.Names[pname]; dup {
+				c.errorf(fd.Position, "function %s has duplicate parameter %s", fd.Name, pname)
+				continue
+			}
+			c.scope.declare(&Symbol{Name: pname, Kind: SymParam, Heap: -1, Lock: -1})
+		}
+		c.inFunc = true
+		c.stmts(fd.Body)
+		c.inFunc = false
+		c.scope = saved
+	}
+
+	if len(c.errs) > 0 {
+		return c.info, c.errs
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) stmts(ss []ast.Stmt) {
+	for _, s := range ss {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Decl:
+		c.decl(n)
+
+	case *ast.Assign:
+		c.target(n.Target)
+		c.expr(n.Value)
+
+	case *ast.CastStmt:
+		c.target(n.Target)
+
+	case *ast.Visible:
+		for _, a := range n.Args {
+			c.expr(a)
+		}
+
+	case *ast.Gimmeh:
+		c.target(n.Target)
+
+	case *ast.ExprStmt:
+		c.expr(n.X)
+
+	case *ast.If:
+		saved := c.topLevel
+		c.topLevel = false
+		c.stmts(n.Then)
+		for _, m := range n.Mebbes {
+			c.expr(m.Cond)
+			c.stmts(m.Body)
+		}
+		c.stmts(n.Else)
+		c.topLevel = saved
+
+	case *ast.Switch:
+		saved := c.topLevel
+		c.topLevel = false
+		c.switchDepth++
+		for _, cs := range n.Cases {
+			c.expr(cs.Lit)
+			c.stmts(cs.Body)
+		}
+		c.stmts(n.Default)
+		c.switchDepth--
+		c.topLevel = saved
+
+	case *ast.Loop:
+		c.loop(n)
+
+	case *ast.Gtfo:
+		if c.loopDepth == 0 && c.switchDepth == 0 && !c.inFunc {
+			c.errorf(n.Position, "GTFO outside of a loop, switch, or function")
+		}
+
+	case *ast.FoundYr:
+		if !c.inFunc {
+			c.errorf(n.Position, "FOUND YR outside of a function")
+		}
+		c.expr(n.X)
+
+	case *ast.FuncDecl:
+		// Hoisted by the parser at top level; nested ones are parse errors.
+
+	case *ast.Barrier:
+		if c.inFunc {
+			// Legal but noteworthy: a barrier inside a function is
+			// collective and must be reached by all PEs. No error.
+			_ = n
+		}
+
+	case *ast.Lock:
+		c.lock(n)
+
+	case *ast.TxtStmt:
+		c.expr(n.Target)
+		saved := c.topLevel
+		c.topLevel = false
+		c.predicated++
+		c.stmt(n.Stmt)
+		c.predicated--
+		c.topLevel = saved
+
+	case *ast.TxtBlock:
+		c.expr(n.Target)
+		saved := c.topLevel
+		c.topLevel = false
+		c.predicated++
+		c.stmts(n.Body)
+		c.predicated--
+		c.topLevel = saved
+	}
+}
+
+func (c *checker) decl(n *ast.Decl) {
+	if n.Scope == ast.ScopeWe {
+		if c.inFunc {
+			c.errorf(n.Position, "WE HAS A is not allowed inside a function: symmetric allocation must be collective")
+		} else if !c.topLevel {
+			c.errorf(n.Position, "WE HAS A must appear at the top level of the program so every PE allocates it")
+		}
+	}
+	if prev, dup := c.scope.Names[n.Name]; dup {
+		if prev.Kind != SymLoopVar {
+			c.errorf(n.Position, "variable %s is already declared", n.Name)
+			return
+		}
+	}
+
+	sym := &Symbol{
+		Name:    n.Name,
+		Decl:    n,
+		Static:  n.Static,
+		Type:    n.Type,
+		IsArray: n.IsArray,
+		Sharin:  n.Sharin,
+		Heap:    -1,
+		Lock:    -1,
+	}
+	if n.Scope == ast.ScopeWe {
+		sym.Kind = SymShared
+		sym.Heap = len(c.info.Shared)
+		c.info.Shared = append(c.info.Shared, sym)
+	} else {
+		sym.Kind = SymPrivate
+		if n.Sharin {
+			c.errorf(n.Position, "AN IM SHARIN IT requires a WE HAS A declaration")
+		}
+	}
+	if n.Sharin && n.Scope == ast.ScopeWe {
+		sym.Lock = len(c.info.Locks)
+		c.info.Locks = append(c.info.Locks, sym)
+	}
+	c.scope.declare(sym)
+	c.info.Refs[n] = sym
+
+	if n.Size != nil {
+		c.expr(n.Size)
+	}
+	if n.Init != nil {
+		c.expr(n.Init)
+	}
+	if n.IsArray && n.Init != nil {
+		c.errorf(n.Position, "array %s cannot take an ITZ initializer", n.Name)
+	}
+}
+
+func (c *checker) loop(n *ast.Loop) {
+	saved := c.topLevel
+	c.topLevel = false
+	var implicit *Symbol
+	if n.Var != "" {
+		if existing, ok := c.scope.Names[n.Var]; ok {
+			c.info.Refs[n] = existing
+		} else {
+			// The paper's n-body listing uses undeclared loop counters; they
+			// are implicitly declared as NUMBR 0 for the loop's duration.
+			implicit = &Symbol{Name: n.Var, Kind: SymLoopVar, Type: value.Numbr, Heap: -1, Lock: -1}
+			c.scope.declare(implicit)
+			c.info.Refs[n] = implicit
+		}
+	}
+	if n.Cond != nil {
+		c.expr(n.Cond)
+	}
+	c.loopDepth++
+	c.stmts(n.Body)
+	c.loopDepth--
+	if implicit != nil {
+		// The name stays in the frame (slots are stable) but is no longer
+		// visible for resolution outside the loop.
+		delete(c.scope.Names, n.Var)
+	}
+	c.topLevel = saved
+}
+
+func (c *checker) lock(n *ast.Lock) {
+	sym := c.resolve(n.Var)
+	if sym == nil {
+		return
+	}
+	if !sym.Sharin {
+		c.errorf(n.Position, "%v: variable %s has no lock; declare it with AN IM SHARIN IT", n.Action, n.Var.Name)
+	}
+}
+
+// target checks an assignment/GIMMEH target.
+func (c *checker) target(e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.VarRef:
+		sym := c.resolve(t)
+		if sym != nil && sym.IsArray {
+			// Whole-array assignment is legal (ring example); nothing to do.
+			_ = sym
+		}
+	case *ast.Index:
+		sym := c.resolve(t.Arr)
+		if sym != nil && !sym.IsArray && sym.Kind != SymParam && sym.Kind != SymIt {
+			c.errorf(t.Position, "%s is not an array; 'Z indexing needs a LOTZ A declaration", t.Arr.Name)
+		}
+		c.expr(t.IndexE)
+	case *ast.Srs:
+		c.expr(t.X)
+		c.spaceCheck(t.Position, t.Space)
+	default:
+		c.errorf(e.Pos(), "cannot assign to this expression")
+	}
+}
+
+func (c *checker) expr(e ast.Expr) {
+	switch n := e.(type) {
+	case nil:
+	case *ast.VarRef:
+		c.resolve(n)
+	case *ast.Index:
+		sym := c.resolve(n.Arr)
+		if sym != nil && !sym.IsArray && sym.Kind != SymParam && sym.Kind != SymIt {
+			c.errorf(n.Position, "%s is not an array; 'Z indexing needs a LOTZ A declaration", n.Arr.Name)
+		}
+		c.expr(n.IndexE)
+	case *ast.BinExpr:
+		c.expr(n.X)
+		c.expr(n.Y)
+	case *ast.UnExpr:
+		c.expr(n.X)
+	case *ast.NaryExpr:
+		for _, o := range n.Operands {
+			c.expr(o)
+		}
+	case *ast.CastExpr:
+		c.expr(n.X)
+	case *ast.Call:
+		fi, ok := c.info.Funcs[n.Name]
+		if !ok {
+			c.errorf(n.Position, "I IZ %s: no such function", n.Name)
+		} else if len(n.Args) != len(fi.Decl.Params) {
+			c.errorf(n.Position, "I IZ %s: %d arguments for %d parameters",
+				n.Name, len(n.Args), len(fi.Decl.Params))
+		}
+		for _, a := range n.Args {
+			c.expr(a)
+		}
+	case *ast.Srs:
+		c.expr(n.X)
+		c.spaceCheck(n.Position, n.Space)
+	case *ast.YarnLit:
+		// Interpolation names resolve at runtime (SRS-like semantics).
+	}
+}
+
+// resolve binds a VarRef to its symbol, enforcing the UR/MAH predication
+// rule from Table II ("only valid within a statement that is predicated").
+func (c *checker) resolve(v *ast.VarRef) *Symbol {
+	c.spaceCheck(v.Position, v.Space)
+	sym, ok := c.scope.Names[v.Name]
+	if !ok {
+		c.errorf(v.Position, "variable %s has not been declared", v.Name)
+		return nil
+	}
+	if v.Space == ast.SpaceUr && sym.Kind != SymShared {
+		c.errorf(v.Position, "UR %s: only WE HAS A symmetric variables are remotely addressable", v.Name)
+	}
+	c.info.Refs[v] = sym
+	return sym
+}
+
+func (c *checker) spaceCheck(pos token.Pos, sp ast.Space) {
+	if sp != ast.SpaceDefault && c.predicated == 0 {
+		c.errorf(pos, "%v is only valid inside a TXT MAH BFF predicated statement or block", sp)
+	}
+}

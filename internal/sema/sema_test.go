@@ -1,0 +1,177 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := parser.Parse("t.lol", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = sema.Check(prog)
+	return err
+}
+
+func wantErr(t *testing.T, src, fragment string) {
+	t.Helper()
+	err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not contain %q", err, fragment)
+	}
+}
+
+func TestWeHasAMustBeTopLevel(t *testing.T) {
+	wantErr(t, `HAI 1.2
+WIN, O RLY?
+YA RLY
+  WE HAS A x ITZ SRSLY A NUMBR
+OIC
+KTHXBYE`, "top level")
+}
+
+func TestWeHasAInFunctionRejected(t *testing.T) {
+	wantErr(t, `HAI 1.2
+HOW IZ I bad
+  WE HAS A x ITZ SRSLY A NUMBR
+IF U SAY SO
+KTHXBYE`, "collective")
+}
+
+func TestSharinOnPrivateRejected(t *testing.T) {
+	wantErr(t, "HAI 1.2\nI HAS A x ITZ A NUMBR AN IM SHARIN IT\nKTHXBYE", "WE HAS A")
+}
+
+func TestFoundYrOutsideFunction(t *testing.T) {
+	wantErr(t, "HAI 1.2\nFOUND YR 1\nKTHXBYE", "outside of a function")
+}
+
+func TestGtfoAtTopLevel(t *testing.T) {
+	wantErr(t, "HAI 1.2\nGTFO\nKTHXBYE", "outside")
+}
+
+func TestCallArityChecked(t *testing.T) {
+	wantErr(t, `HAI 1.2
+HOW IZ I f YR a AN YR b
+  FOUND YR a
+IF U SAY SO
+VISIBLE I IZ f YR 1 MKAY
+KTHXBYE`, "arguments")
+}
+
+func TestUnknownFunction(t *testing.T) {
+	wantErr(t, "HAI 1.2\nVISIBLE I IZ nope MKAY\nKTHXBYE", "no such function")
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	wantErr(t, `HAI 1.2
+HOW IZ I f
+  GTFO
+IF U SAY SO
+HOW IZ I f
+  GTFO
+IF U SAY SO
+KTHXBYE`, "declared twice")
+}
+
+func TestDuplicateParam(t *testing.T) {
+	wantErr(t, `HAI 1.2
+HOW IZ I f YR a AN YR a
+  FOUND YR a
+IF U SAY SO
+KTHXBYE`, "duplicate parameter")
+}
+
+func TestUndeclaredVariable(t *testing.T) {
+	wantErr(t, "HAI 1.2\nVISIBLE nope\nKTHXBYE", "has not been declared")
+}
+
+func TestUrOnPrivateRejected(t *testing.T) {
+	wantErr(t, `HAI 1.2
+I HAS A x ITZ 1
+TXT MAH BFF 0, VISIBLE UR x
+KTHXBYE`, "remotely addressable")
+}
+
+func TestIndexingScalarRejected(t *testing.T) {
+	wantErr(t, `HAI 1.2
+I HAS A x ITZ SRSLY A NUMBR
+VISIBLE x'Z 0
+KTHXBYE`, "not an array")
+}
+
+func TestArrayInitializerRejected(t *testing.T) {
+	wantErr(t, "HAI 1.2\nI HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 4 AN ITZ 5\nKTHXBYE", "initializer")
+}
+
+func TestTharIzOnScalarRejected(t *testing.T) {
+	// The parser already rejects a size clause on a scalar declaration.
+	_, err := parser.Parse("t.lol", "HAI 1.2\nI HAS A x ITZ A NUMBR AN THAR IZ 5\nKTHXBYE")
+	if err == nil || !strings.Contains(err.Error(), "LOTZ A") {
+		t.Fatalf("want LOTZ A diagnostic from the parser, got %v", err)
+	}
+}
+
+func TestMahOutsidePredicationRejected(t *testing.T) {
+	wantErr(t, `HAI 1.2
+WE HAS A x ITZ SRSLY A NUMBR
+VISIBLE MAH x
+KTHXBYE`, "TXT MAH BFF")
+}
+
+func TestSymmetricHeapLayoutIsDeclarationOrder(t *testing.T) {
+	prog, err := parser.Parse("t.lol", `HAI 1.2
+WE HAS A first ITZ SRSLY A NUMBR
+I HAS A private ITZ 0
+WE HAS A second ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 4 AN IM SHARIN IT
+WE HAS A third ITZ SRSLY A YARN AN IM SHARIN IT
+KTHXBYE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Shared) != 3 {
+		t.Fatalf("shared symbols = %d, want 3", len(info.Shared))
+	}
+	for i, name := range []string{"first", "second", "third"} {
+		if info.Shared[i].Name != name || info.Shared[i].Heap != i {
+			t.Errorf("slot %d = %s (heap %d), want %s", i, info.Shared[i].Name, info.Shared[i].Heap, name)
+		}
+	}
+	if len(info.Locks) != 2 {
+		t.Fatalf("locks = %d, want 2", len(info.Locks))
+	}
+	if info.Locks[0].Name != "second" || info.Locks[1].Name != "third" {
+		t.Errorf("lock order = %s, %s", info.Locks[0].Name, info.Locks[1].Name)
+	}
+	if !info.Shared[1].IsArray || info.Shared[1].Lock != 0 {
+		t.Errorf("second: %+v", info.Shared[1])
+	}
+}
+
+func TestLoopVarScopedToLoop(t *testing.T) {
+	// An implicit loop counter is not visible after its loop.
+	wantErr(t, `HAI 1.2
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3
+  VISIBLE i
+IM OUTTA YR l
+VISIBLE i
+KTHXBYE`, "has not been declared")
+}
+
+func TestItAlwaysVisible(t *testing.T) {
+	if err := check(t, "HAI 1.2\nVISIBLE IT\nKTHXBYE"); err != nil {
+		t.Errorf("IT should always resolve: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package shmem
+
+import "sync"
+
+// barrier is the internal collective-barrier interface. wake releases all
+// waiters after a world failure so SPMD programs tear down instead of
+// deadlocking.
+type barrier interface {
+	wait(pe int, w *World) error
+	wake()
+}
+
+// centralBarrier is a sense-reversing central barrier: a mutex-protected
+// arrival count plus a generation number broadcast over a condition
+// variable. Simple, fair enough, and O(n) wakeup — the teaching default.
+type centralBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	broken  bool
+}
+
+func newCentralBarrier(n int) *centralBarrier {
+	b := &centralBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *centralBarrier) wait(pe int, w *World) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return ErrWorldFailed
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		return ErrWorldFailed
+	}
+	return nil
+}
+
+func (b *centralBarrier) wake() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// disseminationBarrier runs ceil(log2 n) rounds; in round r, PE p sends a
+// token to PE (p + 2^r) mod n and receives one from PE (p - 2^r) mod n.
+// Token channels have capacity 2: a PE can be at most two barrier episodes
+// ahead of a partner (completing episode k+2 implies every PE entered it,
+// hence consumed its episode-k token), so two slots can never overflow.
+type disseminationBarrier struct {
+	n      int
+	rounds int
+	// ch[r][p] carries the token received by PE p in round r.
+	ch     [][]chan struct{}
+	failCh <-chan struct{}
+}
+
+func newDisseminationBarrier(n int, failCh <-chan struct{}) *disseminationBarrier {
+	rounds := 0
+	for (1 << rounds) < n {
+		rounds++
+	}
+	b := &disseminationBarrier{n: n, rounds: rounds, failCh: failCh}
+	b.ch = make([][]chan struct{}, rounds)
+	for r := 0; r < rounds; r++ {
+		b.ch[r] = make([]chan struct{}, n)
+		for p := 0; p < n; p++ {
+			b.ch[r][p] = make(chan struct{}, 2)
+		}
+	}
+	return b
+}
+
+func (b *disseminationBarrier) wait(pe int, w *World) error {
+	for r := 0; r < b.rounds; r++ {
+		to := (pe + (1 << r)) % b.n
+		select {
+		case b.ch[r][to] <- struct{}{}:
+		case <-b.failCh:
+			return ErrWorldFailed
+		}
+		select {
+		case <-b.ch[r][pe]:
+		case <-b.failCh:
+			return ErrWorldFailed
+		}
+	}
+	return nil
+}
+
+func (b *disseminationBarrier) wake() {
+	// Waiters select on failCh, which the world closes before calling wake;
+	// nothing further to do.
+}

@@ -1,0 +1,46 @@
+package shmem_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/shmem"
+	"repro/internal/value"
+)
+
+// Example demonstrates the substrate on its own: an SPMD world where every
+// PE publishes a value into its symmetric slot, meets at a barrier, and
+// PE 0 reads them all one-sided — the minimal OpenSHMEM-style program the
+// paper's extensions compile down to.
+func Example() {
+	world, err := shmem.NewWorld(4, []shmem.SymbolSpec{{Name: "v"}}, 0, shmem.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = world.Run(func(pe *shmem.PE) error {
+		if err := pe.InitScalar(0, value.NewNumbr(int64(pe.ID()*pe.ID()))); err != nil {
+			return err
+		}
+		if err := pe.Barrier(); err != nil {
+			return err
+		}
+		if pe.ID() != 0 {
+			return nil
+		}
+		total := int64(0)
+		for rank := 0; rank < pe.NPEs(); rank++ {
+			v, err := pe.Get(rank, 0)
+			if err != nil {
+				return err
+			}
+			total += v.Numbr()
+		}
+		fmt.Println("sum of squares:", total)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// sum of squares: 14
+}

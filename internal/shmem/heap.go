@@ -1,0 +1,338 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// cell is one slot of a PE's symmetric heap: either a scalar value or a
+// typed array. The mutex makes single-element remote operations atomic, the
+// granularity real one-sided hardware gives for word-sized transfers.
+type cell struct {
+	mu  sync.Mutex
+	v   value.Value
+	arr *value.Array
+}
+
+func (c *cell) lock()   { c.mu.Lock() }
+func (c *cell) unlock() { c.mu.Unlock() }
+
+// valueBytes approximates the wire size of a scalar for cost accounting.
+func valueBytes(v value.Value) int {
+	switch v.Kind() {
+	case value.Numbr, value.Numbar:
+		return 8
+	case value.Troof:
+		return 1
+	case value.Yarn:
+		return len(v.Yarn())
+	}
+	return 0
+}
+
+func elemBytes(k value.Kind) int {
+	switch k {
+	case value.Numbr, value.Numbar:
+		return 8
+	case value.Troof:
+		return 1
+	case value.Yarn:
+		return 16 // header estimate; strings are variable
+	}
+	return 8
+}
+
+func (w *World) checkSlot(slot int) error {
+	if slot < 0 || slot >= len(w.syms) {
+		return fmt.Errorf("shmem: symmetric slot %d out of range [0,%d)", slot, len(w.syms))
+	}
+	return nil
+}
+
+func (w *World) checkPE(pe int) error {
+	if pe < 0 || pe >= w.n {
+		return fmt.Errorf("shmem: PE %d out of range [0,%d)", pe, w.n)
+	}
+	return nil
+}
+
+func (w *World) cellAt(pe, slot int) *cell { return &w.heaps[pe][slot] }
+
+// AllocArray performs this PE's share of a collective symmetric array
+// allocation: every PE must allocate the same slot with the same size, the
+// invariant real SHMEM requires of shmem_malloc. A size mismatch across
+// PEs is reported as an error.
+func (pe *PE) AllocArray(slot, size int) error {
+	w := pe.w
+	if err := w.checkSlot(slot); err != nil {
+		return err
+	}
+	spec := w.syms[slot]
+	if !spec.IsArray {
+		return fmt.Errorf("shmem: slot %d (%s) is not an array", slot, spec.Name)
+	}
+
+	w.symSizeMu.Lock()
+	switch cur := w.symSize[slot]; {
+	case cur == -1:
+		w.symSize[slot] = size
+	case cur != size:
+		w.symSizeMu.Unlock()
+		return fmt.Errorf("shmem: asymmetric allocation of %s: PE %d wants %d elements, another PE allocated %d",
+			spec.Name, pe.id, size, cur)
+	}
+	w.symSizeMu.Unlock()
+
+	arr, err := value.NewArrayOf(spec.Elem, size)
+	if err != nil {
+		return fmt.Errorf("shmem: allocating %s: %w", spec.Name, err)
+	}
+	c := w.cellAt(pe.id, slot)
+	c.lock()
+	c.arr = arr
+	c.unlock()
+	return nil
+}
+
+// InitScalar sets this PE's local instance of a scalar slot without cost
+// (declaration-time initialization).
+func (pe *PE) InitScalar(slot int, v value.Value) error {
+	if err := pe.w.checkSlot(slot); err != nil {
+		return err
+	}
+	c := pe.w.cellAt(pe.id, slot)
+	c.lock()
+	c.v = v
+	c.unlock()
+	return nil
+}
+
+// Put writes a scalar into target's instance of slot (one-sided write).
+func (pe *PE) Put(target, slot int, v value.Value) error {
+	w := pe.w
+	if err := w.checkPE(target); err != nil {
+		return err
+	}
+	if err := w.checkSlot(slot); err != nil {
+		return err
+	}
+	nbytes := valueBytes(v)
+	pe.charge(w.model.PutNanos(pe.id, target, nbytes))
+	if target != pe.id {
+		w.stats.RemotePuts.Add(1)
+		w.stats.PutBytes.Add(int64(nbytes))
+		pe.stats.RemotePuts++
+	}
+	pe.trace(EvPut, target, slot, nbytes)
+	c := w.cellAt(target, slot)
+	c.lock()
+	c.v = v
+	c.unlock()
+	return nil
+}
+
+// Get reads a scalar from target's instance of slot (one-sided read).
+func (pe *PE) Get(target, slot int) (value.Value, error) {
+	w := pe.w
+	if err := w.checkPE(target); err != nil {
+		return value.NOOB, err
+	}
+	if err := w.checkSlot(slot); err != nil {
+		return value.NOOB, err
+	}
+	c := w.cellAt(target, slot)
+	c.lock()
+	v := c.v
+	c.unlock()
+	nbytes := valueBytes(v)
+	pe.charge(w.model.GetNanos(pe.id, target, nbytes))
+	if target != pe.id {
+		w.stats.RemoteGets.Add(1)
+		w.stats.GetBytes.Add(int64(nbytes))
+		pe.stats.RemoteGets++
+	}
+	pe.trace(EvGet, target, slot, nbytes)
+	return v, nil
+}
+
+func (w *World) arrayAt(pe, slot int) (*cell, *value.Array, error) {
+	c := w.cellAt(pe, slot)
+	c.lock()
+	arr := c.arr
+	c.unlock()
+	if arr == nil {
+		return nil, nil, fmt.Errorf(
+			"shmem: PE %d's array %s is not allocated yet (did the program reach its WE HAS A, or is a HUGZ missing?)",
+			pe, w.syms[slot].Name)
+	}
+	return c, arr, nil
+}
+
+// PutElem writes one array element into target's instance of slot.
+func (pe *PE) PutElem(target, slot, index int, v value.Value) error {
+	w := pe.w
+	if err := w.checkPE(target); err != nil {
+		return err
+	}
+	if err := w.checkSlot(slot); err != nil {
+		return err
+	}
+	c, arr, err := w.arrayAt(target, slot)
+	if err != nil {
+		return err
+	}
+	nbytes := elemBytes(arr.Elem())
+	pe.charge(w.model.PutNanos(pe.id, target, nbytes))
+	if target != pe.id {
+		w.stats.RemotePuts.Add(1)
+		w.stats.PutBytes.Add(int64(nbytes))
+		pe.stats.RemotePuts++
+	}
+	pe.trace(EvPut, target, slot, nbytes)
+	c.lock()
+	err = arr.Set(index, v)
+	c.unlock()
+	return err
+}
+
+// GetElem reads one array element from target's instance of slot.
+func (pe *PE) GetElem(target, slot, index int) (value.Value, error) {
+	w := pe.w
+	if err := w.checkPE(target); err != nil {
+		return value.NOOB, err
+	}
+	if err := w.checkSlot(slot); err != nil {
+		return value.NOOB, err
+	}
+	c, arr, err := w.arrayAt(target, slot)
+	if err != nil {
+		return value.NOOB, err
+	}
+	nbytes := elemBytes(arr.Elem())
+	pe.charge(w.model.GetNanos(pe.id, target, nbytes))
+	if target != pe.id {
+		w.stats.RemoteGets.Add(1)
+		w.stats.GetBytes.Add(int64(nbytes))
+		pe.stats.RemoteGets++
+	}
+	pe.trace(EvGet, target, slot, nbytes)
+	c.lock()
+	v, err := arr.GetChecked(index)
+	c.unlock()
+	return v, err
+}
+
+// GetArray reads a deep copy of target's whole array instance (the paper's
+// `MAH array R UR array` bulk transfer).
+func (pe *PE) GetArray(target, slot int) (*value.Array, error) {
+	w := pe.w
+	if err := w.checkPE(target); err != nil {
+		return nil, err
+	}
+	if err := w.checkSlot(slot); err != nil {
+		return nil, err
+	}
+	c, arr, err := w.arrayAt(target, slot)
+	if err != nil {
+		return nil, err
+	}
+	c.lock()
+	cp := arr.Clone()
+	c.unlock()
+	nbytes := cp.Len() * elemBytes(cp.Elem())
+	pe.charge(w.model.GetNanos(pe.id, target, nbytes))
+	if target != pe.id {
+		w.stats.RemoteGets.Add(1)
+		w.stats.GetBytes.Add(int64(nbytes))
+		pe.stats.RemoteGets++
+	}
+	pe.trace(EvGet, target, slot, nbytes)
+	return cp, nil
+}
+
+// PutArray overwrites target's whole array instance with a copy of src.
+func (pe *PE) PutArray(target, slot int, src *value.Array) error {
+	w := pe.w
+	if err := w.checkPE(target); err != nil {
+		return err
+	}
+	if err := w.checkSlot(slot); err != nil {
+		return err
+	}
+	c, arr, err := w.arrayAt(target, slot)
+	if err != nil {
+		return err
+	}
+	nbytes := src.Len() * elemBytes(src.Elem())
+	pe.charge(w.model.PutNanos(pe.id, target, nbytes))
+	if target != pe.id {
+		w.stats.RemotePuts.Add(1)
+		w.stats.PutBytes.Add(int64(nbytes))
+		pe.stats.RemotePuts++
+	}
+	pe.trace(EvPut, target, slot, nbytes)
+	c.lock()
+	err = arr.CopyFrom(src)
+	c.unlock()
+	return err
+}
+
+// LocalArray returns this PE's own array instance as a direct, unlocked
+// view. Access through the view is not synchronized against concurrent
+// remote PutElem/GetElem from other PEs; use LocalGetElem/LocalSetElem for
+// element access that must coexist with remote traffic.
+func (pe *PE) LocalArray(slot int) (*value.Array, error) {
+	if err := pe.w.checkSlot(slot); err != nil {
+		return nil, err
+	}
+	_, arr, err := pe.w.arrayAt(pe.id, slot)
+	return arr, err
+}
+
+// LocalGetElem reads one element of this PE's own array instance under the
+// cell lock (zero simulated cost). This is the element-read path the
+// language backends use so that even a racy program (one that skips HUGZ)
+// sees whole values rather than torn ones.
+func (pe *PE) LocalGetElem(slot, index int) (value.Value, error) {
+	if err := pe.w.checkSlot(slot); err != nil {
+		return value.NOOB, err
+	}
+	c, arr, err := pe.w.arrayAt(pe.id, slot)
+	if err != nil {
+		return value.NOOB, err
+	}
+	c.lock()
+	v, err := arr.GetChecked(index)
+	c.unlock()
+	return v, err
+}
+
+// LocalSetElem writes one element of this PE's own array instance under
+// the cell lock (zero simulated cost).
+func (pe *PE) LocalSetElem(slot, index int, v value.Value) error {
+	if err := pe.w.checkSlot(slot); err != nil {
+		return err
+	}
+	c, arr, err := pe.w.arrayAt(pe.id, slot)
+	if err != nil {
+		return err
+	}
+	c.lock()
+	err = arr.Set(index, v)
+	c.unlock()
+	return err
+}
+
+// LocalGet reads this PE's own scalar instance without cost.
+func (pe *PE) LocalGet(slot int) (value.Value, error) {
+	if err := pe.w.checkSlot(slot); err != nil {
+		return value.NOOB, err
+	}
+	c := pe.w.cellAt(pe.id, slot)
+	c.lock()
+	v := c.v
+	c.unlock()
+	return v, nil
+}

@@ -1,0 +1,173 @@
+package shmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+// TestPropertyPutGetShadow drives a random sequence of one-sided puts from
+// PE 0 against a shadow model, with a barrier separating the write phase
+// from verification: after the barrier, every PE must observe exactly the
+// shadow state.
+func TestPropertyPutGetShadow(t *testing.T) {
+	f := func(writes []uint16) bool {
+		const np, slots = 4, 3
+		syms := make([]SymbolSpec, slots)
+		for i := range syms {
+			syms[i] = SymbolSpec{Name: string(rune('a' + i))}
+		}
+		w, err := NewWorld(np, syms, 0, Options{})
+		if err != nil {
+			return false
+		}
+		// shadow[pe][slot] mirrors what PE 0 wrote last.
+		var shadow [np][slots]int64
+		ok := true
+		err = w.Run(func(pe *PE) error {
+			for s := 0; s < slots; s++ {
+				if err := pe.InitScalar(s, value.NewNumbr(0)); err != nil {
+					return err
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			if pe.ID() == 0 {
+				for i, wv := range writes {
+					target := int(wv) % np
+					slot := int(wv>>4) % slots
+					val := int64(i + 1)
+					if err := pe.Put(target, slot, value.NewNumbr(val)); err != nil {
+						return err
+					}
+					shadow[target][slot] = val
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			for target := 0; target < np; target++ {
+				for slot := 0; slot < slots; slot++ {
+					v, err := pe.Get(target, slot)
+					if err != nil {
+						return err
+					}
+					if v.Numbr() != shadow[target][slot] {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReduceMatchesSequentialFold checks that the parallel
+// reduction agrees with a sequential fold over the same inputs for any
+// world size 1..8 and any input values.
+func TestPropertyReduceMatchesSequentialFold(t *testing.T) {
+	f := func(raw []int16, npRaw uint8) bool {
+		np := int(npRaw)%8 + 1
+		inputs := make([]int64, np)
+		for i := range inputs {
+			if i < len(raw) {
+				inputs[i] = int64(raw[i])
+			}
+		}
+		var want int64
+		for _, v := range inputs {
+			want += v
+		}
+
+		syms := []SymbolSpec{{Name: "v"}}
+		w, err := NewWorld(np, syms, 0, Options{})
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(pe *PE) error {
+			if err := pe.InitScalar(0, value.NewNumbr(inputs[pe.ID()])); err != nil {
+				return err
+			}
+			if err := pe.Reduce(0, ReduceSum); err != nil {
+				return err
+			}
+			v, err := pe.LocalGet(0)
+			if err != nil {
+				return err
+			}
+			if v.Numbr() != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLockSerializesUnderRandomSchedules: with random per-PE work
+// patterns, a lock-protected read-modify-write never loses updates.
+func TestPropertyLockSerializesUnderRandomSchedules(t *testing.T) {
+	f := func(itersRaw [6]uint8) bool {
+		const np = 6
+		var total int64
+		iters := make([]int, np)
+		for i := range iters {
+			iters[i] = int(itersRaw[i]) % 40
+			total += int64(iters[i])
+		}
+		syms := []SymbolSpec{{Name: "ctr"}}
+		w, err := NewWorld(np, syms, 1, Options{})
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(pe *PE) error {
+			if err := pe.InitScalar(0, value.NewNumbr(0)); err != nil {
+				return err
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			for i := 0; i < iters[pe.ID()]; i++ {
+				if err := pe.SetLock(0); err != nil {
+					return err
+				}
+				v, err := pe.Get(0, 0)
+				if err != nil {
+					return err
+				}
+				if err := pe.Put(0, 0, value.NewNumbr(v.Numbr()+1)); err != nil {
+					return err
+				}
+				if err := pe.ClearLock(0); err != nil {
+					return err
+				}
+			}
+			if err := pe.Barrier(); err != nil {
+				return err
+			}
+			v, err := pe.Get(0, 0)
+			if err != nil {
+				return err
+			}
+			if v.Numbr() != total {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package shmem
+
+import "sync/atomic"
+
+// Stats aggregates world-wide operation counters, updated atomically by
+// all PEs.
+type Stats struct {
+	RemotePuts    atomic.Int64
+	RemoteGets    atomic.Int64
+	PutBytes      atomic.Int64
+	GetBytes      atomic.Int64
+	Barriers      atomic.Int64
+	LockAcquires  atomic.Int64
+	LockContended atomic.Int64
+	Atomics       atomic.Int64
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	RemotePuts    int64
+	RemoteGets    int64
+	PutBytes      int64
+	GetBytes      int64
+	Barriers      int64
+	LockAcquires  int64
+	LockContended int64
+	Atomics       int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RemotePuts:    s.RemotePuts.Load(),
+		RemoteGets:    s.RemoteGets.Load(),
+		PutBytes:      s.PutBytes.Load(),
+		GetBytes:      s.GetBytes.Load(),
+		Barriers:      s.Barriers.Load(),
+		LockAcquires:  s.LockAcquires.Load(),
+		LockContended: s.LockContended.Load(),
+		Atomics:       s.Atomics.Load(),
+	}
+}
+
+// PEStats counts one PE's operations (no atomics needed: single writer).
+type PEStats struct {
+	RemotePuts   int64
+	RemoteGets   int64
+	Barriers     int64
+	LockAcquires int64
+}

@@ -1,0 +1,78 @@
+package shmem
+
+import "fmt"
+
+// EventKind classifies a traced runtime event.
+type EventKind int
+
+// Traced event kinds.
+const (
+	EvPut EventKind = iota
+	EvGet
+	EvBarrier
+	EvLock
+	EvTryLock
+	EvUnlock
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPut:
+		return "put"
+	case EvGet:
+		return "get"
+	case EvBarrier:
+		return "barrier"
+	case EvLock:
+		return "lock"
+	case EvTryLock:
+		return "trylock"
+	case EvUnlock:
+		return "unlock"
+	}
+	return "?"
+}
+
+// Event is one observed runtime operation. For data movement, PE is the
+// initiator and Target the owner of the accessed memory; Slot names the
+// symmetric symbol. Barrier events carry the episode number in Episode.
+type Event struct {
+	Kind    EventKind
+	PE      int
+	Target  int
+	Slot    int
+	Bytes   int
+	Episode int // barrier episodes completed by PE before this event
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvBarrier:
+		return fmt.Sprintf("PE %d: HUGZ (episode %d)", e.PE, e.Episode)
+	case EvPut, EvGet:
+		return fmt.Sprintf("PE %d: %v slot %d @ PE %d (%dB)", e.PE, e.Kind, e.Slot, e.Target, e.Bytes)
+	default:
+		return fmt.Sprintf("PE %d: %v", e.PE, e.Kind)
+	}
+}
+
+// Tracer receives runtime events. Implementations must be safe for
+// concurrent use: all PEs call it.
+type Tracer func(Event)
+
+// trace emits an event when tracing is enabled. The per-PE barrier count
+// stamps each event with its synchronization phase, which is what the
+// Figure 2 renderer groups by.
+func (pe *PE) trace(kind EventKind, target, slot, bytes int) {
+	if pe.w.opts.Tracer == nil {
+		return
+	}
+	pe.w.opts.Tracer(Event{
+		Kind:    kind,
+		PE:      pe.id,
+		Target:  target,
+		Slot:    slot,
+		Bytes:   bytes,
+		Episode: int(pe.stats.Barriers),
+	})
+}

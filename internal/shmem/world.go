@@ -1,0 +1,247 @@
+// Package shmem is a from-scratch PGAS runtime in the spirit of the minimal
+// OpenSHMEM subset the paper builds on: SPMD execution over N processing
+// elements (PEs), symmetric memory, one-sided put/get, collective barriers,
+// global locks, and a handful of collectives and atomics that real
+// OpenSHMEM backends use implicitly.
+//
+// Each PE is a goroutine bound to a *PE handle. Symmetric memory is a
+// per-PE heap of cells laid out identically on every PE (the paper's
+// Figure 1); a remote reference is a (pe, slot) pair. A pluggable cost
+// model (see internal/machine) charges simulated nanoseconds to the
+// calling PE for every one-sided operation, so programs report
+// hardware-shaped timing without the hardware.
+package shmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// CostModel prices one-sided operations in simulated nanoseconds.
+// internal/machine provides implementations for the paper's platforms.
+type CostModel interface {
+	Name() string
+	PutNanos(src, dst, bytes int) float64
+	GetNanos(src, dst, bytes int) float64
+	LockNanos(src, home int) float64
+	BarrierNanos(n int) float64
+}
+
+// zeroCost is the default model: no simulated latency.
+type zeroCost struct{}
+
+func (zeroCost) Name() string                         { return "none" }
+func (zeroCost) PutNanos(src, dst, bytes int) float64 { return 0 }
+func (zeroCost) GetNanos(src, dst, bytes int) float64 { return 0 }
+func (zeroCost) LockNanos(src, home int) float64      { return 0 }
+func (zeroCost) BarrierNanos(n int) float64           { return 0 }
+
+// SymbolSpec describes one slot of the symmetric heap.
+type SymbolSpec struct {
+	Name    string
+	IsArray bool
+	Elem    value.Kind // element type for arrays; Noob for dynamic scalars
+}
+
+// BarrierAlg selects the barrier implementation.
+type BarrierAlg int
+
+const (
+	// BarrierCentral is a sense-reversing central barrier (mutex + cond).
+	BarrierCentral BarrierAlg = iota
+	// BarrierDissemination is a log2(n)-round dissemination barrier built
+	// on buffered channels.
+	BarrierDissemination
+)
+
+func (a BarrierAlg) String() string {
+	if a == BarrierDissemination {
+		return "dissemination"
+	}
+	return "central"
+}
+
+// Options configures a World.
+type Options struct {
+	// Model prices one-sided operations; nil means free.
+	Model CostModel
+	// Barrier selects the barrier algorithm.
+	Barrier BarrierAlg
+	// Seed is the base seed for per-PE deterministic RNG streams;
+	// PE i uses Seed + i.
+	Seed int64
+	// Tracer, when non-nil, receives every runtime event (one-sided
+	// accesses, barriers, lock operations). It must be safe for concurrent
+	// use; see internal/trace for a ready-made recorder.
+	Tracer Tracer
+}
+
+// ErrWorldFailed is returned from blocking operations when another PE has
+// already failed, so that the whole SPMD program tears down instead of
+// deadlocking at the next barrier.
+var ErrWorldFailed = errors.New("shmem: another PE failed")
+
+// World is one SPMD program instance: N PEs with symmetric heaps.
+type World struct {
+	n     int
+	syms  []SymbolSpec
+	heaps [][]cell // heaps[pe][slot]
+
+	// symSize records the collective size of each symmetric array slot;
+	// the first allocator sets it, later allocators must match (symmetric
+	// allocation symmetry check).
+	symSizeMu sync.Mutex
+	symSize   []int // -1 = not yet allocated
+
+	locks []ticketLock
+
+	barrier barrier
+
+	model CostModel
+	opts  Options
+
+	failOnce sync.Once
+	failCh   chan struct{}
+	failErr  atomic.Value // error
+
+	stats Stats
+}
+
+// NewWorld creates a world of n PEs with the given symmetric heap layout
+// and lock count.
+func NewWorld(n int, syms []SymbolSpec, nLocks int, opts Options) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shmem: world size %d must be positive", n)
+	}
+	if opts.Model == nil {
+		opts.Model = zeroCost{}
+	}
+	w := &World{
+		n:       n,
+		syms:    syms,
+		heaps:   make([][]cell, n),
+		symSize: make([]int, len(syms)),
+		locks:   make([]ticketLock, nLocks),
+		model:   opts.Model,
+		opts:    opts,
+		failCh:  make(chan struct{}),
+	}
+	for i := range w.symSize {
+		w.symSize[i] = -1
+	}
+	for pe := 0; pe < n; pe++ {
+		w.heaps[pe] = make([]cell, len(syms))
+	}
+	switch opts.Barrier {
+	case BarrierDissemination:
+		w.barrier = newDisseminationBarrier(n, w.failCh)
+	default:
+		w.barrier = newCentralBarrier(n)
+	}
+	return w, nil
+}
+
+// N returns the number of PEs.
+func (w *World) N() int { return w.n }
+
+// Model returns the active cost model.
+func (w *World) Model() CostModel { return w.model }
+
+// Symbols returns the symmetric heap layout.
+func (w *World) Symbols() []SymbolSpec { return w.syms }
+
+// Stats returns a snapshot of the world's operation counters.
+func (w *World) Stats() StatsSnapshot { return w.stats.snapshot() }
+
+// fail records the first failure and releases all blocked PEs.
+func (w *World) fail(err error) {
+	w.failOnce.Do(func() {
+		w.failErr.Store(err)
+		close(w.failCh)
+		w.barrier.wake()
+	})
+}
+
+func (w *World) failed() error {
+	if err, ok := w.failErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// PE is the per-processing-element handle passed to the SPMD body.
+type PE struct {
+	id  int
+	w   *World
+	rng *rand.Rand
+
+	simNanos float64 // simulated time consumed by this PE
+	stats    PEStats
+}
+
+// ID returns this PE's rank, 0..N-1 (the paper's ME).
+func (pe *PE) ID() int { return pe.id }
+
+// NPEs returns the world size (the paper's MAH FRENZ).
+func (pe *PE) NPEs() int { return pe.w.n }
+
+// World returns the owning world.
+func (pe *PE) World() *World { return pe.w }
+
+// Rand returns this PE's deterministic random stream (WHATEVR/WHATEVAR).
+func (pe *PE) Rand() *rand.Rand { return pe.rng }
+
+// SimNanos returns the simulated time this PE has consumed under the
+// world's cost model.
+func (pe *PE) SimNanos() float64 { return pe.simNanos }
+
+// PEStats returns this PE's operation counters.
+func (pe *PE) PEStats() PEStats { return pe.stats }
+
+func (pe *PE) charge(nanos float64) { pe.simNanos += nanos }
+
+// Run executes body once per PE in its own goroutine and waits for all of
+// them. The first error (or panic, converted to an error) aborts blocked
+// collectives on other PEs; Run returns the joined errors.
+func (w *World) Run(body func(pe *PE) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for id := 0; id < w.n; id++ {
+		pe := &PE{id: id, w: w, rng: rand.New(rand.NewSource(w.opts.Seed + int64(id)))}
+		go func(pe *PE) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err := fmt.Errorf("PE %d panicked: %v", pe.id, r)
+					errs[pe.id] = err
+					w.fail(err)
+				}
+			}()
+			if err := body(pe); err != nil {
+				errs[pe.id] = fmt.Errorf("PE %d: %w", pe.id, err)
+				w.fail(errs[pe.id])
+			}
+		}(pe)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Barrier is the collective barrier (the paper's HUGZ). Every PE must call
+// it before any PE continues.
+func (pe *PE) Barrier() error {
+	pe.charge(pe.w.model.BarrierNanos(pe.w.n))
+	pe.w.stats.Barriers.Add(1)
+	pe.stats.Barriers++
+	err := pe.w.barrier.wait(pe.id, pe.w)
+	if err == nil {
+		pe.trace(EvBarrier, -1, -1, 0)
+	}
+	return err
+}

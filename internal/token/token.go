@@ -1,0 +1,313 @@
+// Package token defines the lexical tokens of LOLCODE-1.2 together with the
+// parallel and distributed computing extensions introduced by Richie & Ross,
+// "I Can Has Supercomputer?" (2017).
+//
+// LOLCODE keywords are frequently multi-word phrases ("BOTH SAEM",
+// "TXT MAH BFF", "IM SRSLY MESIN WIF"). The lexer folds such phrases into a
+// single token using the longest-match trie exported by this package, so the
+// parser only ever sees one Kind per construct.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The token kinds. Keyword kinds carry the canonical phrase (see Phrase).
+const (
+	// Special tokens.
+	Illegal Kind = iota
+	EOF
+	Newline // logical statement separator: '\n' or ','
+
+	// Literals and identifiers.
+	Ident     // pos_x
+	NumbrLit  // 42, -7
+	NumbarLit // 3.14, -0.5
+	YarnLit   // "HAI :) WORLD"
+
+	// Punctuation.
+	Question // ?   (O RLY?, WTF?, CAN HAS STDIO?)
+	Bang     // !   (VISIBLE ... !)
+	IndexZ   // 'Z  (array indexing: arr'Z i)
+
+	// Program delimiters.
+	KwHai      // HAI
+	KwKthxbye  // KTHXBYE
+	KwCanHas   // CAN HAS
+	KwGimmeh   // GIMMEH
+	KwVisible  // VISIBLE
+	KwInvisibl // INVISIBLE (diagnostic output to stderr; lci extension)
+
+	// Declarations and assignment.
+	KwIHasA         // I HAS A
+	KwWeHasA        // WE HAS A
+	KwItz           // ITZ
+	KwItzA          // ITZ A
+	KwItzSrslyA     // ITZ SRSLY A
+	KwItzLotzA      // ITZ LOTZ A            (dynamic array)
+	KwItzSrslyLotzA // ITZ SRSLY LOTZ A    (static array)
+	KwAnTharIz      // AN THAR IZ            (array size clause)
+	KwAnImSharinIt  // AN IM SHARIN IT      (implicit lock clause)
+	KwAnItz         // AN ITZ                (initializer clause)
+	KwR             // R
+
+	// Types.
+	KwNumbr  // NUMBR
+	KwNumbar // NUMBAR
+	KwYarn   // YARN
+	KwTroof  // TROOF
+	KwNoob   // NOOB
+
+	// Boolean literals.
+	KwWin  // WIN
+	KwFail // FAIL
+
+	// Arithmetic / comparison operators (prefix, args joined by AN).
+	KwSumOf      // SUM OF
+	KwDiffOf     // DIFF OF
+	KwProduktOf  // PRODUKT OF
+	KwQuoshuntOf // QUOSHUNT OF
+	KwModOf      // MOD OF
+	KwBiggrOf    // BIGGR OF   (max, LOLCODE-1.2)
+	KwSmallrOf   // SMALLR OF  (min, LOLCODE-1.2)
+	KwBigger     // BIGGER     (greater-than, paper Table I)
+	KwSmallr     // SMALLR     (less-than, paper Table I)
+	KwBothSaem   // BOTH SAEM
+	KwDiffrint   // DIFFRINT
+	KwBothOf     // BOTH OF    (and)
+	KwEitherOf   // EITHER OF  (or)
+	KwWonOf      // WON OF     (xor)
+	KwNot        // NOT
+	KwAllOf      // ALL OF
+	KwAnyOf      // ANY OF
+	KwAn         // AN
+	KwMkay       // MKAY
+	KwSmoosh     // SMOOSH
+
+	// Casting.
+	KwMaek   // MAEK
+	KwA      // A (in MAEK expr A TYPE)
+	KwIsNowA // IS NOW A
+	KwSrs    // SRS
+
+	// Control flow.
+	KwORly      // O RLY
+	KwYaRly     // YA RLY
+	KwMebbe     // MEBBE
+	KwNoWai     // NO WAI
+	KwOic       // OIC
+	KwWtf       // WTF
+	KwOmg       // OMG
+	KwOmgwtf    // OMGWTF
+	KwGtfo      // GTFO
+	KwImInYr    // IM IN YR
+	KwImOuttaYr // IM OUTTA YR
+	KwUppin     // UPPIN
+	KwNerfin    // NERFIN
+	KwYr        // YR
+	KwTil       // TIL
+	KwWile      // WILE
+
+	// Functions.
+	KwHowIzI   // HOW IZ I
+	KwIfUSaySo // IF U SAY SO
+	KwFoundYr  // FOUND YR
+	KwIIz      // I IZ
+
+	// The implicit result variable.
+	KwIt // IT
+
+	// Parallel & distributed extensions (paper Table II).
+	KwMahFrenz        // MAH FRENZ           (number of PEs)
+	KwMe              // ME                  (this PE's id)
+	KwHugz            // HUGZ                (barrier)
+	KwImSrslyMesinWif // IM SRSLY MESIN WIF  (blocking lock acquire)
+	KwImMesinWif      // IM MESIN WIF        (trylock)
+	KwDunMesinWif     // DUN MESIN WIF       (lock release)
+	KwTxtMahBff       // TXT MAH BFF         (thread predication)
+	KwAnStuff         // AN STUFF            (begin predicated block)
+	KwTtyl            // TTYL                (end predicated block)
+	KwUr              // UR                  (remote address space)
+	KwMah             // MAH                 (local address space)
+
+	// Additional extensions (paper Table III).
+	KwWhatevr   // WHATEVR    (random NUMBR)
+	KwWhatevar  // WHATEVAR   (random NUMBAR)
+	KwSquarOf   // SQUAR OF   (x*x)
+	KwUnsquarOf // UNSQUAR OF (sqrt)
+	KwFlipOf    // FLIP OF    (1/x)
+
+	kindCount
+)
+
+var kindNames = map[Kind]string{
+	Illegal:   "ILLEGAL",
+	EOF:       "EOF",
+	Newline:   "NEWLINE",
+	Ident:     "IDENT",
+	NumbrLit:  "NUMBR_LIT",
+	NumbarLit: "NUMBAR_LIT",
+	YarnLit:   "YARN_LIT",
+	Question:  "?",
+	Bang:      "!",
+	IndexZ:    "'Z",
+}
+
+// Phrases maps every keyword kind to its canonical source phrase.
+// The lexer builds its longest-match trie from this table, and the
+// formatter uses it to print keywords back out.
+var Phrases = map[Kind]string{
+	KwHai:             "HAI",
+	KwKthxbye:         "KTHXBYE",
+	KwCanHas:          "CAN HAS",
+	KwGimmeh:          "GIMMEH",
+	KwVisible:         "VISIBLE",
+	KwInvisibl:        "INVISIBLE",
+	KwIHasA:           "I HAS A",
+	KwWeHasA:          "WE HAS A",
+	KwItz:             "ITZ",
+	KwItzA:            "ITZ A",
+	KwItzSrslyA:       "ITZ SRSLY A",
+	KwItzLotzA:        "ITZ LOTZ A",
+	KwItzSrslyLotzA:   "ITZ SRSLY LOTZ A",
+	KwAnTharIz:        "AN THAR IZ",
+	KwAnImSharinIt:    "AN IM SHARIN IT",
+	KwAnItz:           "AN ITZ",
+	KwR:               "R",
+	KwNumbr:           "NUMBR",
+	KwNumbar:          "NUMBAR",
+	KwYarn:            "YARN",
+	KwTroof:           "TROOF",
+	KwNoob:            "NOOB",
+	KwWin:             "WIN",
+	KwFail:            "FAIL",
+	KwSumOf:           "SUM OF",
+	KwDiffOf:          "DIFF OF",
+	KwProduktOf:       "PRODUKT OF",
+	KwQuoshuntOf:      "QUOSHUNT OF",
+	KwModOf:           "MOD OF",
+	KwBiggrOf:         "BIGGR OF",
+	KwSmallrOf:        "SMALLR OF",
+	KwBigger:          "BIGGER",
+	KwSmallr:          "SMALLR",
+	KwBothSaem:        "BOTH SAEM",
+	KwDiffrint:        "DIFFRINT",
+	KwBothOf:          "BOTH OF",
+	KwEitherOf:        "EITHER OF",
+	KwWonOf:           "WON OF",
+	KwNot:             "NOT",
+	KwAllOf:           "ALL OF",
+	KwAnyOf:           "ANY OF",
+	KwAn:              "AN",
+	KwMkay:            "MKAY",
+	KwSmoosh:          "SMOOSH",
+	KwMaek:            "MAEK",
+	KwA:               "A",
+	KwIsNowA:          "IS NOW A",
+	KwSrs:             "SRS",
+	KwORly:            "O RLY",
+	KwYaRly:           "YA RLY",
+	KwMebbe:           "MEBBE",
+	KwNoWai:           "NO WAI",
+	KwOic:             "OIC",
+	KwWtf:             "WTF",
+	KwOmg:             "OMG",
+	KwOmgwtf:          "OMGWTF",
+	KwGtfo:            "GTFO",
+	KwImInYr:          "IM IN YR",
+	KwImOuttaYr:       "IM OUTTA YR",
+	KwUppin:           "UPPIN",
+	KwNerfin:          "NERFIN",
+	KwYr:              "YR",
+	KwTil:             "TIL",
+	KwWile:            "WILE",
+	KwHowIzI:          "HOW IZ I",
+	KwIfUSaySo:        "IF U SAY SO",
+	KwFoundYr:         "FOUND YR",
+	KwIIz:             "I IZ",
+	KwIt:              "IT",
+	KwMahFrenz:        "MAH FRENZ",
+	KwMe:              "ME",
+	KwHugz:            "HUGZ",
+	KwImSrslyMesinWif: "IM SRSLY MESIN WIF",
+	KwImMesinWif:      "IM MESIN WIF",
+	KwDunMesinWif:     "DUN MESIN WIF",
+	KwTxtMahBff:       "TXT MAH BFF",
+	KwAnStuff:         "AN STUFF",
+	KwTtyl:            "TTYL",
+	KwUr:              "UR",
+	KwMah:             "MAH",
+	KwWhatevr:         "WHATEVR",
+	KwWhatevar:        "WHATEVAR",
+	KwSquarOf:         "SQUAR OF",
+	KwUnsquarOf:       "UNSQUAR OF",
+	KwFlipOf:          "FLIP OF",
+}
+
+// String returns a human-readable name for the kind: the canonical phrase
+// for keywords, an upper-case class name otherwise.
+func (k Kind) String() string {
+	if s, ok := Phrases[k]; ok {
+		return s
+	}
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved keyword (or keyword phrase).
+func (k Kind) IsKeyword() bool {
+	_, ok := Phrases[k]
+	return ok
+}
+
+// IsLiteral reports whether k is a literal or identifier token.
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case Ident, NumbrLit, NumbarLit, YarnLit:
+		return true
+	}
+	return false
+}
+
+// IsType reports whether k names one of the five LOLCODE types.
+func (k Kind) IsType() bool {
+	switch k {
+	case KwNumbr, KwNumbar, KwYarn, KwTroof, KwNoob:
+		return true
+	}
+	return false
+}
+
+// Pos is a source position: 1-based line and column plus the file name.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries line information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its source position and raw text.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // literal text for Ident and literal kinds; empty for keywords
+}
+
+func (t Token) String() string {
+	if t.Text != "" && !t.Kind.IsKeyword() {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,92 @@
+package token
+
+import "strings"
+
+// trieNode is one level of the multi-word keyword trie. Each edge is a
+// single upper-case word; a node with kind != Illegal terminates a phrase.
+type trieNode struct {
+	kind Kind // Illegal when this node does not end a keyword phrase
+	next map[string]*trieNode
+}
+
+var root *trieNode
+
+func init() {
+	root = &trieNode{kind: Illegal}
+	for kind, phrase := range Phrases {
+		n := root
+		for _, w := range strings.Fields(phrase) {
+			if n.next == nil {
+				n.next = make(map[string]*trieNode)
+			}
+			child, ok := n.next[w]
+			if !ok {
+				child = &trieNode{kind: Illegal}
+				n.next[w] = child
+			}
+			n = child
+		}
+		n.kind = kind
+	}
+}
+
+// Matcher performs incremental longest-match keyword recognition.
+// The lexer feeds it one word at a time; the matcher tracks the longest
+// complete phrase seen so far and how many words past it have been consumed.
+type Matcher struct {
+	node     *trieNode
+	best     Kind // longest complete phrase so far (Illegal if none)
+	bestLen  int  // words in best
+	consumed int  // words fed since Reset
+}
+
+// Reset prepares the matcher for a new phrase.
+func (m *Matcher) Reset() {
+	m.node = root
+	m.best = Illegal
+	m.bestLen = 0
+	m.consumed = 0
+}
+
+// Feed advances the matcher with the next word. It returns false when the
+// word does not extend any keyword phrase, at which point the caller should
+// consult Best for the longest complete phrase seen.
+func (m *Matcher) Feed(word string) bool {
+	if m.node == nil {
+		m.Reset()
+	}
+	child, ok := m.node.next[word]
+	if !ok {
+		return false
+	}
+	m.node = child
+	m.consumed++
+	if child.kind != Illegal {
+		m.best = child.kind
+		m.bestLen = m.consumed
+	}
+	return true
+}
+
+// CanExtend reports whether a longer phrase is still possible.
+func (m *Matcher) CanExtend() bool { return m.node != nil && len(m.node.next) > 0 }
+
+// Best returns the longest complete keyword phrase matched so far and the
+// number of words it spans. Kind is Illegal when no phrase matched.
+func (m *Matcher) Best() (Kind, int) { return m.best, m.bestLen }
+
+// LookupWord returns the keyword kind for a single-word phrase, or Illegal.
+func LookupWord(w string) Kind {
+	if n, ok := root.next[w]; ok {
+		return n.kind
+	}
+	return Illegal
+}
+
+// IsKeywordWord reports whether w begins at least one keyword phrase.
+// Identifiers that collide with such words are still permitted by the
+// grammar in positions where no keyword can begin.
+func IsKeywordWord(w string) bool {
+	_, ok := root.next[w]
+	return ok
+}

@@ -1,0 +1,111 @@
+package token
+
+import "testing"
+
+func TestLookupWord(t *testing.T) {
+	if got := LookupWord("HUGZ"); got != KwHugz {
+		t.Errorf("LookupWord(HUGZ) = %v", got)
+	}
+	if got := LookupWord("ME"); got != KwMe {
+		t.Errorf("LookupWord(ME) = %v", got)
+	}
+	// Words that only begin longer phrases are not complete keywords.
+	if got := LookupWord("BOTH"); got != Illegal {
+		t.Errorf("LookupWord(BOTH) = %v, want Illegal", got)
+	}
+	if got := LookupWord("kitteh"); got != Illegal {
+		t.Errorf("LookupWord(kitteh) = %v, want Illegal", got)
+	}
+}
+
+func TestIsKeywordWord(t *testing.T) {
+	for _, w := range []string{"BOTH", "IM", "TXT", "SUM", "HUGZ", "I", "WE"} {
+		if !IsKeywordWord(w) {
+			t.Errorf("IsKeywordWord(%s) = false", w)
+		}
+	}
+	if IsKeywordWord("CHEEZBURGER") {
+		t.Error("IsKeywordWord(CHEEZBURGER) = true")
+	}
+}
+
+func TestMatcherLongestMatch(t *testing.T) {
+	// "IM SRSLY MESIN WIF" must win over the shorter "IM MESIN WIF" path.
+	var m Matcher
+	m.Reset()
+	for _, w := range []string{"IM", "SRSLY", "MESIN", "WIF"} {
+		if !m.Feed(w) {
+			t.Fatalf("Feed(%s) failed", w)
+		}
+	}
+	kind, n := m.Best()
+	if kind != KwImSrslyMesinWif || n != 4 {
+		t.Errorf("Best() = %v, %d", kind, n)
+	}
+}
+
+func TestMatcherTracksIntermediateBest(t *testing.T) {
+	// Feeding "ITZ SRSLY" then a dead end must report the 1-word "ITZ".
+	var m Matcher
+	m.Reset()
+	if !m.Feed("ITZ") {
+		t.Fatal("Feed(ITZ) failed")
+	}
+	if !m.Feed("SRSLY") {
+		t.Fatal("Feed(SRSLY) failed")
+	}
+	if m.Feed("CAT") {
+		t.Fatal("Feed(CAT) should not extend ITZ SRSLY")
+	}
+	kind, n := m.Best()
+	if kind != KwItz || n != 1 {
+		t.Errorf("Best() = %v, %d; want ITZ, 1", kind, n)
+	}
+}
+
+func TestMatcherCanExtend(t *testing.T) {
+	var m Matcher
+	m.Reset()
+	m.Feed("AN")
+	if !m.CanExtend() {
+		t.Error("AN begins AN THAR IZ / AN ITZ / AN IM SHARIN IT / AN STUFF; CanExtend should be true")
+	}
+	m.Feed("STUFF")
+	if m.CanExtend() {
+		t.Error("AN STUFF is terminal; CanExtend should be false")
+	}
+	if kind, _ := m.Best(); kind != KwAnStuff {
+		t.Errorf("Best() = %v", kind)
+	}
+}
+
+func TestKindStringAndPredicates(t *testing.T) {
+	if KwSumOf.String() != "SUM OF" {
+		t.Errorf("KwSumOf.String() = %q", KwSumOf.String())
+	}
+	if Ident.String() != "IDENT" {
+		t.Errorf("Ident.String() = %q", Ident.String())
+	}
+	if !KwHugz.IsKeyword() || Ident.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+	if !NumbrLit.IsLiteral() || KwHugz.IsLiteral() {
+		t.Error("IsLiteral misclassifies")
+	}
+	if !KwNumbr.IsType() || KwHugz.IsType() {
+		t.Error("IsType misclassifies")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{File: "a.lol", Line: 3, Col: 7}
+	if p.String() != "a.lol:3:7" {
+		t.Errorf("Pos.String() = %q", p.String())
+	}
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Error("file-less Pos format wrong")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+}

@@ -1,0 +1,171 @@
+// Package trace records and renders the runtime events of an SPMD run.
+// Its headline use regenerates the paper's Figure 2 — "visualization of
+// symmetric parallel data movement" — from an *actual execution*: the
+// recorder is plugged into the shmem runtime as a Tracer, and the renderer
+// groups the observed one-sided transfers by barrier phase and draws them
+// as per-PE lanes with arrows.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/shmem"
+)
+
+// Recorder collects events from all PEs. The zero value is ready to use;
+// pass Recorder.Record as shmem.Options.Tracer (or interp.Config.Tracer).
+type Recorder struct {
+	mu     sync.Mutex
+	events []shmem.Event
+}
+
+// Record implements the shmem.Tracer contract.
+func (r *Recorder) Record(e shmem.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []shmem.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]shmem.Event(nil), r.events...)
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// Movement is one observed one-sided transfer.
+type Movement struct {
+	Kind   shmem.EventKind // EvPut or EvGet
+	From   int             // initiating PE
+	To     int             // owner of the accessed memory
+	Slot   int
+	Bytes  int
+	Remote bool
+}
+
+// Phase is the data movement between two barrier episodes.
+type Phase struct {
+	Episode   int // barrier episodes completed when these transfers ran
+	Movements []Movement
+}
+
+// Phases splits the recorded events into barrier-delimited phases,
+// keeping only remote data movement (local accesses are not "movement" in
+// the Figure 2 sense).
+func (r *Recorder) Phases() []Phase {
+	byEpisode := map[int][]Movement{}
+	for _, e := range r.Events() {
+		if e.Kind != shmem.EvPut && e.Kind != shmem.EvGet {
+			continue
+		}
+		if e.PE == e.Target {
+			continue
+		}
+		byEpisode[e.Episode] = append(byEpisode[e.Episode], Movement{
+			Kind: e.Kind, From: e.PE, To: e.Target,
+			Slot: e.Slot, Bytes: e.Bytes, Remote: true,
+		})
+	}
+	episodes := make([]int, 0, len(byEpisode))
+	for ep := range byEpisode {
+		episodes = append(episodes, ep)
+	}
+	sort.Ints(episodes)
+	phases := make([]Phase, 0, len(episodes))
+	for _, ep := range episodes {
+		ms := byEpisode[ep]
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].From != ms[j].From {
+				return ms[i].From < ms[j].From
+			}
+			return ms[i].To < ms[j].To
+		})
+		phases = append(phases, Phase{Episode: ep, Movements: ms})
+	}
+	return phases
+}
+
+// Render draws the recorded data movement as the paper's Figure 2 does:
+// one box per PE, with put/get arrows between them, grouped by barrier
+// phase. symbols names the symmetric slots (from sema.Info.Shared order);
+// nil falls back to slot numbers.
+func (r *Recorder) Render(w io.Writer, np int, symbols []string) {
+	name := func(slot int) string {
+		if slot >= 0 && slot < len(symbols) {
+			return symbols[slot]
+		}
+		return fmt.Sprintf("slot%d", slot)
+	}
+
+	phases := r.Phases()
+	if len(phases) == 0 {
+		fmt.Fprintln(w, "(no remote data movement recorded)")
+		return
+	}
+
+	// The PE lane header.
+	var header strings.Builder
+	for pe := 0; pe < np; pe++ {
+		fmt.Fprintf(&header, "+--PE %-2d--+   ", pe)
+	}
+
+	for _, ph := range phases {
+		fmt.Fprintf(w, "after HUGZ episode %d:\n", ph.Episode)
+		fmt.Fprintf(w, "  %s\n", header.String())
+		for _, m := range ph.Movements {
+			arrow := "--put-->"
+			if m.Kind == shmem.EvGet {
+				arrow = "<--get--"
+			}
+			fmt.Fprintf(w, "  PE %d %s PE %d   (%s, %dB)\n", m.From, arrow, m.To, name(m.Slot), m.Bytes)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Summary aggregates the trace: transfers and bytes per (from, to) pair —
+// a software-measured traffic matrix to put beside the NoC counters.
+func (r *Recorder) Summary(w io.Writer, np int) {
+	type cellStat struct {
+		msgs  int
+		bytes int
+	}
+	matrix := make([][]cellStat, np)
+	for i := range matrix {
+		matrix[i] = make([]cellStat, np)
+	}
+	for _, e := range r.Events() {
+		if e.Kind != shmem.EvPut && e.Kind != shmem.EvGet {
+			continue
+		}
+		if e.PE == e.Target || e.PE >= np || e.Target >= np {
+			continue
+		}
+		matrix[e.PE][e.Target].msgs++
+		matrix[e.PE][e.Target].bytes += e.Bytes
+	}
+	fmt.Fprintf(w, "traffic matrix (initiator -> owner), messages:\n")
+	fmt.Fprintf(w, "      ")
+	for to := 0; to < np; to++ {
+		fmt.Fprintf(w, "to%-4d", to)
+	}
+	fmt.Fprintln(w)
+	for from := 0; from < np; from++ {
+		fmt.Fprintf(w, "from%-2d", from)
+		for to := 0; to < np; to++ {
+			fmt.Fprintf(w, "%-6d", matrix[from][to].msgs)
+		}
+		fmt.Fprintln(w)
+	}
+}

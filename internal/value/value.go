@@ -1,0 +1,279 @@
+// Package value implements the LOLCODE-1.2 dynamic value system: the NOOB,
+// TROOF, NUMBR, NUMBAR and YARN types, the casting rules of the
+// specification, and the typed arrays added by the parallel-LOLCODE paper
+// ("LOTZ A NUMBRS AN THAR IZ n").
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types.
+type Kind int
+
+const (
+	Noob   Kind = iota // untyped / uninitialized
+	Troof              // boolean
+	Numbr              // signed 64-bit integer
+	Numbar             // 64-bit float
+	Yarn               // string
+	ArrayK             // typed array (paper extension)
+)
+
+var kindNames = [...]string{"NOOB", "TROOF", "NUMBR", "NUMBAR", "YARN", "ARRAY"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a LOLCODE runtime value. The zero Value is NOOB.
+type Value struct {
+	kind Kind
+	n    int64
+	f    float64
+	s    string
+	arr  *Array
+}
+
+// The NOOB value.
+var NOOB = Value{kind: Noob}
+
+// NewNumbr returns a NUMBR value.
+func NewNumbr(n int64) Value { return Value{kind: Numbr, n: n} }
+
+// NewNumbar returns a NUMBAR value.
+func NewNumbar(f float64) Value { return Value{kind: Numbar, f: f} }
+
+// NewYarn returns a YARN value.
+func NewYarn(s string) Value { return Value{kind: Yarn, s: s} }
+
+// NewTroof returns a TROOF value.
+func NewTroof(b bool) Value {
+	if b {
+		return Value{kind: Troof, n: 1}
+	}
+	return Value{kind: Troof}
+}
+
+// NewArray wraps a typed array as a value.
+func NewArray(a *Array) Value { return Value{kind: ArrayK, arr: a} }
+
+// Kind returns the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNoob reports whether the value is NOOB.
+func (v Value) IsNoob() bool { return v.kind == Noob }
+
+// Numbr returns the integer payload; valid only when Kind() == Numbr.
+func (v Value) Numbr() int64 { return v.n }
+
+// Numbar returns the float payload; valid only when Kind() == Numbar.
+func (v Value) Numbar() float64 { return v.f }
+
+// Yarn returns the string payload; valid only when Kind() == Yarn.
+func (v Value) Yarn() string { return v.s }
+
+// Troof returns the boolean payload; valid only when Kind() == Troof.
+func (v Value) Troof() bool { return v.n != 0 }
+
+// Array returns the array payload; valid only when Kind() == ArrayK.
+func (v Value) Array() *Array { return v.arr }
+
+// TypeError records an illegal cast or operation on mismatched types.
+type TypeError struct {
+	Op   string
+	Have Kind
+	Want Kind
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("%s: cannot use %s where %s is needed", e.Op, e.Have, e.Want)
+}
+
+// ToTroof implements the universal implicit cast to TROOF: NOOB, 0, 0.0 and
+// the empty YARN are FAIL; everything else is WIN.
+func (v Value) ToTroof() bool {
+	switch v.kind {
+	case Noob:
+		return false
+	case Troof:
+		return v.n != 0
+	case Numbr:
+		return v.n != 0
+	case Numbar:
+		return v.f != 0
+	case Yarn:
+		return v.s != ""
+	case ArrayK:
+		return v.arr != nil && v.arr.Len() > 0
+	}
+	return false
+}
+
+// ToNumbr implicitly casts to NUMBR following the specification: TROOF maps
+// to 0/1, NUMBAR truncates, numeric YARNs parse; NOOB and non-numeric YARNs
+// are errors.
+func (v Value) ToNumbr() (int64, error) {
+	switch v.kind {
+	case Troof:
+		return v.n, nil
+	case Numbr:
+		return v.n, nil
+	case Numbar:
+		return int64(v.f), nil
+	case Yarn:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("YARN %q is not a NUMBR", v.s)
+		}
+		return n, nil
+	}
+	return 0, &TypeError{Op: "implicit cast", Have: v.kind, Want: Numbr}
+}
+
+// ToNumbar implicitly casts to NUMBAR.
+func (v Value) ToNumbar() (float64, error) {
+	switch v.kind {
+	case Troof:
+		return float64(v.n), nil
+	case Numbr:
+		return float64(v.n), nil
+	case Numbar:
+		return v.f, nil
+	case Yarn:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0, fmt.Errorf("YARN %q is not a NUMBAR", v.s)
+		}
+		return f, nil
+	}
+	return 0, &TypeError{Op: "implicit cast", Have: v.kind, Want: Numbar}
+}
+
+// ToYarn implicitly casts to YARN. NUMBARs print with two decimal places as
+// the LOLCODE-1.2 specification requires. NOOB is an error under implicit
+// cast; use Display for output contexts.
+func (v Value) ToYarn() (string, error) {
+	switch v.kind {
+	case Troof:
+		if v.n != 0 {
+			return "WIN", nil
+		}
+		return "FAIL", nil
+	case Numbr:
+		return strconv.FormatInt(v.n, 10), nil
+	case Numbar:
+		return FormatNumbar(v.f), nil
+	case Yarn:
+		return v.s, nil
+	}
+	return "", &TypeError{Op: "implicit cast", Have: v.kind, Want: Yarn}
+}
+
+// FormatNumbar renders a NUMBAR the way VISIBLE does: two decimal places,
+// per the LOLCODE-1.2 specification.
+func FormatNumbar(f float64) string { return strconv.FormatFloat(f, 'f', 2, 64) }
+
+// Display renders any value for VISIBLE. It differs from ToYarn only for
+// NOOB, which displays as "NOOB", and arrays, which display as a
+// space-joined element list.
+func (v Value) Display() string {
+	switch v.kind {
+	case Noob:
+		return "NOOB"
+	case ArrayK:
+		var b strings.Builder
+		for i := 0; i < v.arr.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.arr.Get(i).Display())
+		}
+		return b.String()
+	default:
+		s, _ := v.ToYarn()
+		return s
+	}
+}
+
+// Cast performs an explicit MAEK cast. Explicit casts from NOOB yield the
+// target type's zero value (spec §types); anything else follows the
+// implicit-cast rules.
+func Cast(v Value, to Kind) (Value, error) {
+	if v.kind == ArrayK && to != ArrayK {
+		return NOOB, &TypeError{Op: "MAEK", Have: ArrayK, Want: to}
+	}
+	switch to {
+	case Noob:
+		return NOOB, nil
+	case Troof:
+		return NewTroof(v.ToTroof()), nil
+	case Numbr:
+		if v.kind == Noob {
+			return NewNumbr(0), nil
+		}
+		n, err := v.ToNumbr()
+		if err != nil {
+			return NOOB, err
+		}
+		return NewNumbr(n), nil
+	case Numbar:
+		if v.kind == Noob {
+			return NewNumbar(0), nil
+		}
+		f, err := v.ToNumbar()
+		if err != nil {
+			return NOOB, err
+		}
+		return NewNumbar(f), nil
+	case Yarn:
+		if v.kind == Noob {
+			return NewYarn(""), nil
+		}
+		s, err := v.ToYarn()
+		if err != nil {
+			return NOOB, err
+		}
+		return NewYarn(s), nil
+	case ArrayK:
+		if v.kind == ArrayK {
+			return v, nil
+		}
+		return NOOB, &TypeError{Op: "MAEK", Have: v.kind, Want: ArrayK}
+	}
+	return NOOB, fmt.Errorf("MAEK: unknown target type %v", to)
+}
+
+// Equal implements BOTH SAEM: values of the same type compare directly;
+// NUMBR and NUMBAR compare numerically; any other cross-type comparison is
+// not-equal (the specification performs no other implicit casts here).
+func Equal(a, b Value) bool {
+	if a.kind == b.kind {
+		switch a.kind {
+		case Noob:
+			return true
+		case Troof, Numbr:
+			return a.n == b.n
+		case Numbar:
+			return a.f == b.f
+		case Yarn:
+			return a.s == b.s
+		case ArrayK:
+			return a.arr == b.arr
+		}
+	}
+	if a.kind == Numbr && b.kind == Numbar {
+		return float64(a.n) == b.f
+	}
+	if a.kind == Numbar && b.kind == Numbr {
+		return a.f == float64(b.n)
+	}
+	return false
+}
+
+func (v Value) String() string { return v.Display() }
