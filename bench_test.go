@@ -336,6 +336,55 @@ func BenchmarkE3_FormatNBody(b *testing.B) {
 	}
 }
 
+// --- Backend matrix: interp vs VM vs compile over the paper kernels ----------
+
+// benchBackendKernels runs the montecarlo and nbody kernels on one backend
+// so `benchstat` lines up the same kernel across BenchmarkBackend{Interp,
+// VM,Compile} — the three-point trajectory of the paper's
+// compiler-vs-interpreter claim across the execution design space.
+func benchBackendKernels(b *testing.B, backend core.Backend) {
+	kernels := []struct {
+		name string
+		src  string
+		np   int
+	}{
+		{"montecarlo", experiments.GenMonteCarlo(2_000, 2), 2},
+		{"nbody", experiments.GenNBody(8, 2), 2},
+	}
+	for _, k := range kernels {
+		k := k
+		b.Run(k.name, func(b *testing.B) {
+			prog := mustParse(b, k.src)
+			// Prepare outside the timed region, as a real launcher would.
+			switch backend {
+			case core.BackendCompile:
+				if _, err := prog.Compiled(); err != nil {
+					b.Fatal(err)
+				}
+			case core.BackendVM:
+				if _, err := prog.Bytecode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := prog.Run(core.RunConfig{
+					Backend: backend,
+					Config:  interp.Config{NP: k.np, Seed: 7, Stdout: io.Discard},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBackendInterp(b *testing.B)  { benchBackendKernels(b, core.BackendInterp) }
+func BenchmarkBackendVM(b *testing.B)      { benchBackendKernels(b, core.BackendVM) }
+func BenchmarkBackendCompile(b *testing.B) { benchBackendKernels(b, core.BackendCompile) }
+
 // --- E1 ablation: what do the typed fast paths buy? --------------------------
 
 func BenchmarkE1_SpecializationAblation(b *testing.B) {

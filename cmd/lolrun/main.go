@@ -3,10 +3,12 @@
 //
 //	lolrun -np 16 -machine parallella testdata/nbody.lol
 //	lolrun -np 1024 -machine xc40 -backend interp testdata/fig2.lol
+//	lolrun -np 4 -backend vm testdata/fig2.lol
 //
-// The -machine flag selects the latency model the PGAS runtime charges for
-// one-sided operations; -stats prints the operation counters and per-PE
-// simulated time after the run.
+// The -backend flag selects the execution engine (any registered
+// backend.Backend: interp, vm, or compile); -machine selects the latency
+// model the PGAS runtime charges for one-sided operations; -stats prints
+// the operation counters and per-PE simulated time after the run.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/machine"
@@ -25,7 +28,7 @@ import (
 func main() {
 	np := flag.Int("np", 1, "number of processing elements")
 	machineName := flag.String("machine", "smp", "cost model: "+strings.Join(machine.Names(), ", "))
-	backendName := flag.String("backend", "compile", "execution backend: compile or interp")
+	backendName := flag.String("backend", "compile", "execution backend: "+strings.Join(backend.Names(), ", "))
 	seed := flag.Int64("seed", 1, "base RNG seed (PE i uses seed+i)")
 	group := flag.Bool("group", false, "buffer output per PE and emit it grouped in rank order")
 	stats := flag.Bool("stats", false, "print runtime statistics after the run")
@@ -46,14 +49,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var backend core.Backend
-	switch *backendName {
-	case "compile":
-		backend = core.BackendCompile
-	case "interp":
-		backend = core.BackendInterp
-	default:
-		fmt.Fprintf(os.Stderr, "lolrun: unknown backend %q (want compile or interp)\n", *backendName)
+	eng, err := backend.ByName(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lolrun: %v\n", err)
 		os.Exit(2)
 	}
 	alg := shmem.BarrierCentral
@@ -80,7 +78,7 @@ func main() {
 	if *traceFlag {
 		cfg.Tracer = rec.Record
 	}
-	res, err := prog.Run(core.RunConfig{Backend: backend, Config: cfg})
+	res, err := eng.Run(prog.Info, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -97,7 +95,7 @@ func main() {
 	if *stats {
 		s := res.Stats
 		fmt.Fprintf(os.Stderr, "--- lolrun stats (np=%d, machine=%s, backend=%s) ---\n",
-			*np, model.Name(), backend)
+			*np, model.Name(), eng.Name())
 		fmt.Fprintf(os.Stderr, "remote puts: %d (%d bytes)\n", s.RemotePuts, s.PutBytes)
 		fmt.Fprintf(os.Stderr, "remote gets: %d (%d bytes)\n", s.RemoteGets, s.GetBytes)
 		fmt.Fprintf(os.Stderr, "barriers:    %d\n", s.Barriers)

@@ -12,9 +12,17 @@
 //     platforms — the Epiphany-III 2D-mesh NoC on the Parallella board and
 //     a Cray XC40-style hierarchy;
 //   - internal/lexer, parser, sema: the language frontend for Tables I-III;
-//   - internal/interp, compile, gogen: three backends — a tree-walking
-//     interpreter, a closure compiler, and a LOLCODE-to-Go source emitter
-//     (the paper's lcc emitted C + OpenSHMEM);
+//     sema also performs the slot-resolution pass that assigns every
+//     variable its frame slot and lexical depth, shared by all backends;
+//   - internal/backend: the Backend interface, engine registry, and the
+//     SPMD execution plumbing (Config, Result, per-PE output) every engine
+//     shares;
+//   - internal/interp, vm, compile: the three execution engines spanning
+//     the classic design space — a tree-walking interpreter, a
+//     slot-addressed bytecode VM, and a closure compiler (select one with
+//     `lolrun -backend=interp|vm|compile`);
+//   - internal/gogen: the LOLCODE-to-Go source emitter (the paper's lcc
+//     emitted C + OpenSHMEM);
 //   - cmd/lcc, lolrun, lolfmt, lolbench: the toolchain, the SPMD launcher
 //     (coprsh/aprun analog), a formatter, and the experiment harness.
 //

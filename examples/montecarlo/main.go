@@ -15,49 +15,16 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/interp"
 )
-
-const src = `HAI 1.2
-I HAS A darts ITZ A NUMBR AN ITZ %d
-WE HAS A hits ITZ SRSLY LOTZ A NUMBRS AN THAR IZ %d
-
-I HAS A x ITZ SRSLY A NUMBAR
-I HAS A y ITZ SRSLY A NUMBAR
-I HAS A insider ITZ A NUMBR AN ITZ 0
-
-IM IN YR throwin UPPIN YR i TIL BOTH SAEM i AN darts
-  x R WHATEVAR
-  y R WHATEVAR
-  SMALLR SUM OF SQUAR OF x AN SQUAR OF y AN 1.0, O RLY?
-  YA RLY
-    insider R SUM OF insider AN 1
-  OIC
-IM OUTTA YR throwin
-
-TXT MAH BFF 0, UR hits'Z ME R insider
-
-HUGZ
-
-BOTH SAEM ME AN 0, O RLY?
-YA RLY
-  I HAS A total ITZ A NUMBR AN ITZ 0
-  IM IN YR gatherin UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
-    total R SUM OF total AN hits'Z k
-  IM OUTTA YR gatherin
-  I HAS A pi ITZ SRSLY A NUMBAR
-  pi R QUOSHUNT OF PRODUKT OF 4.0 AN MAEK total A NUMBAR ...
-    AN PRODUKT OF MAEK darts A NUMBAR AN MAEK MAH FRENZ A NUMBAR
-  VISIBLE pi
-OIC
-KTHXBYE`
 
 func main() {
 	np := flag.Int("np", 8, "number of processing elements")
 	darts := flag.Int("darts", 100_000, "darts per PE")
 	flag.Parse()
 
-	prog, err := core.Parse("montecarlo.lol", fmt.Sprintf(src, *darts, *np))
+	prog, err := core.Parse("montecarlo.lol", experiments.GenMonteCarlo(*darts, *np))
 	if err != nil {
 		log.Fatal(err)
 	}

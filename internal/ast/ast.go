@@ -106,6 +106,10 @@ type Decl struct {
 	Size     Expr       // AN THAR IZ <size>, for arrays
 	Init     Expr       // ITZ <expr> or AN ITZ <expr>; nil if none
 	Sharin   bool       // AN IM SHARIN IT: attach an implicit lock
+
+	// Sym is the declared *sema.Symbol, attached by sema.Check (see
+	// VarRef.Sym).
+	Sym any
 }
 
 func (n *Decl) Pos() token.Pos { return n.Position }
@@ -229,6 +233,11 @@ type Loop struct {
 	Cond     Expr
 	Body     []Stmt
 	EndLabel string // label after IM OUTTA YR (checked against Label)
+
+	// Sym is the loop counter's *sema.Symbol (existing variable or the
+	// implicitly declared counter), attached by sema.Check; nil when the
+	// loop has no update clause (see VarRef.Sym).
+	Sym any
 }
 
 func (n *Loop) Pos() token.Pos { return n.Position }
@@ -384,6 +393,14 @@ type VarRef struct {
 	Position token.Pos
 	Name     string
 	Space    Space
+
+	// Sym is the resolved *sema.Symbol, attached by sema.Check's slot
+	// resolution pass (typed any to avoid an import cycle, in the style of
+	// go/ast's Ident.Obj). Backends read it for direct frame-slot access
+	// instead of re-resolving the name; it is nil on synthetic references
+	// built at runtime (SRS, :{var} interpolation), which fall back to the
+	// live scope's name table.
+	Sym any
 }
 
 func (n *VarRef) Pos() token.Pos { return n.Position }

@@ -1,0 +1,50 @@
+package backend_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+
+	// Importing core registers all three engines.
+	"repro/internal/core"
+)
+
+func TestRegistryHasAllEngines(t *testing.T) {
+	want := []string{"compile", "interp", "vm"}
+	got := backend.Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		eng, err := backend.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if eng.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, eng.Name())
+		}
+	}
+	if _, err := backend.ByName("jit"); err == nil {
+		t.Error("ByName accepted an unknown engine")
+	}
+}
+
+// TestEnginesRunViaInterface runs the same program through every engine
+// using only the Backend interface and compares outputs.
+func TestEnginesRunViaInterface(t *testing.T) {
+	prog, err := core.Parse("iface.lol", "HAI 1.2\nVISIBLE SMOOSH \"PE \" AN ME MKAY\nKTHXBYE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "PE 0\nPE 1\nPE 2\n"
+	for _, eng := range backend.All() {
+		var out strings.Builder
+		if _, err := eng.Run(prog.Info, backend.Config{NP: 3, Stdout: &out, GroupOutput: true}); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if out.String() != want {
+			t.Errorf("%s output = %q, want %q", eng.Name(), out.String(), want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package backend
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/shmem"
+	"repro/internal/token"
+)
+
+// Config controls one SPMD execution. It is shared verbatim by every
+// engine, so a run is reproducible across backends: same NP, same seeds,
+// same cost model, same output discipline.
+type Config struct {
+	// NP is the number of processing elements (the coprsh/aprun -np flag).
+	NP int
+	// Model prices one-sided operations; nil runs at zero cost.
+	Model shmem.CostModel
+	// Barrier selects the HUGZ implementation.
+	Barrier shmem.BarrierAlg
+	// Seed is the base seed for WHATEVR/WHATEVAR; PE i uses Seed+i.
+	Seed int64
+	// Stdout and Stderr receive VISIBLE and INVISIBLE output. nil discards.
+	Stdout io.Writer
+	Stderr io.Writer
+	// Stdin feeds GIMMEH; nil reads empty input.
+	Stdin io.Reader
+	// GroupOutput buffers each PE's output and emits it grouped in PE order
+	// after the run, making multi-PE output deterministic for golden tests.
+	GroupOutput bool
+	// Tracer, when non-nil, receives every runtime event (remote accesses,
+	// barriers, lock traffic); see internal/trace for a recorder and the
+	// Figure 2 data-movement renderer.
+	Tracer shmem.Tracer
+}
+
+// Result reports what a run did.
+type Result struct {
+	Stats    shmem.StatsSnapshot
+	SimNanos []float64 // per-PE simulated time under the cost model
+}
+
+// RuntimeError is an execution error with its source position. All engines
+// produce it, so error handling is backend-independent.
+type RuntimeError struct {
+	Pos token.Pos
+	Err error
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: %v", e.Pos, e.Err) }
+
+func (e *RuntimeError) Unwrap() error { return e.Err }

@@ -1,0 +1,87 @@
+package backend
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Output serializes VISIBLE writes from concurrent PEs onto one io.Writer,
+// optionally buffering per PE and emitting grouped in PE order at Flush
+// (deterministic multi-PE output for golden tests). Every execution
+// backend shares it.
+type Output struct {
+	mu      sync.Mutex
+	w       io.Writer
+	grouped bool
+	bufs    []strings.Builder
+}
+
+// NewOutput wraps w. When grouped is true, writes are buffered per PE.
+func NewOutput(w io.Writer, grouped bool, np int) *Output {
+	o := &Output{w: w, grouped: grouped}
+	if grouped {
+		o.bufs = make([]strings.Builder, np)
+	}
+	return o
+}
+
+// PEWriter is the per-PE view of an Output.
+type PEWriter struct {
+	o  *Output
+	pe int
+}
+
+// ForPE returns the writer PE rank pe must use.
+func (o *Output) ForPE(pe int) *PEWriter { return &PEWriter{o: o, pe: pe} }
+
+// WriteString emits s atomically with respect to other PEs.
+func (p *PEWriter) WriteString(s string) {
+	o := p.o
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.grouped {
+		o.bufs[p.pe].WriteString(s)
+		return
+	}
+	if o.w != nil {
+		io.WriteString(o.w, s)
+	}
+}
+
+// Flush emits grouped buffers in PE order. A no-op for live output.
+func (o *Output) Flush() {
+	if !o.grouped || o.w == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.bufs {
+		io.WriteString(o.w, o.bufs[i].String())
+	}
+}
+
+// SharedReader hands out stdin lines to whichever PE asks first (GIMMEH).
+type SharedReader struct {
+	mu sync.Mutex
+	sc *bufio.Scanner
+}
+
+// NewSharedReader wraps r; nil reads as empty input.
+func NewSharedReader(r io.Reader) *SharedReader {
+	if r == nil {
+		r = strings.NewReader("")
+	}
+	return &SharedReader{sc: bufio.NewScanner(r)}
+}
+
+// Line returns the next input line, reporting false at EOF.
+func (s *SharedReader) Line() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sc.Scan() {
+		return s.sc.Text(), true
+	}
+	return "", false
+}

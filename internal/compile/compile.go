@@ -15,12 +15,30 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/backend"
 	"repro/internal/interp"
 	"repro/internal/sema"
 	"repro/internal/shmem"
 	"repro/internal/token"
 	"repro/internal/value"
 )
+
+// engine implements backend.Backend. It recompiles on every Run; callers
+// that run one program repeatedly should hold a Program (core.Program
+// caches one per engine).
+type engine struct{}
+
+func (engine) Name() string { return "compile" }
+
+func (engine) Run(info *sema.Info, cfg interp.Config) (*interp.Result, error) {
+	p, err := Compile(info)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(cfg)
+}
+
+func init() { backend.Register(engine{}) }
 
 // ctrl is the statement-level control-flow signal.
 type ctrl int
@@ -148,20 +166,15 @@ func (p *Program) Run(cfg interp.Config) (*interp.Result, error) {
 
 // RunWorld executes the compiled program on an existing world.
 func (p *Program) RunWorld(cfg interp.Config, world *shmem.World) (*interp.Result, error) {
-	out := interp.NewOutput(cfg.Stdout, cfg.GroupOutput, cfg.NP)
-	errw := interp.NewOutput(cfg.Stderr, cfg.GroupOutput, cfg.NP)
-	stdin := interp.NewSharedReader(cfg.Stdin)
-
-	res := &interp.Result{SimNanos: make([]float64, cfg.NP)}
-	err := world.Run(func(pe *shmem.PE) error {
+	return backend.RunSPMD(cfg, world, func(pe *shmem.PE, io backend.PEIO) error {
 		e := &env{
 			prog:  p,
 			pe:    pe,
 			frame: make([]value.Value, len(p.info.Main.Order)),
 			scope: p.info.Main,
-			out:   out.ForPE(pe.ID()),
-			errw:  errw.ForPE(pe.ID()),
-			stdin: stdin,
+			out:   io.Out,
+			errw:  io.Err,
+			stdin: io.Stdin,
 		}
 		for _, fn := range p.main {
 			c, err := fn(e)
@@ -172,16 +185,8 @@ func (p *Program) RunWorld(cfg interp.Config, world *shmem.World) (*interp.Resul
 				return fmt.Errorf("GTFO or FOUND YR escaped the main program")
 			}
 		}
-		res.SimNanos[pe.ID()] = pe.SimNanos()
 		return nil
 	})
-	out.Flush()
-	errw.Flush()
-	if err != nil {
-		return nil, err
-	}
-	res.Stats = world.Stats()
-	return res, nil
 }
 
 // compiler holds compile-time state.

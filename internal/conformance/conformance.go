@@ -1,16 +1,17 @@
 // Package conformance encodes the paper's Tables I, II and III — the
 // de-facto specification of parallel LOLCODE — as executable rows: one
 // small program per construct with its expected behaviour. The test suite
-// runs every row on both backends, and cmd/lolbench regenerates the tables
-// with pass/fail status (experiments T1, T2, T3).
+// runs the full backend×fixture matrix (every row on every registered
+// execution engine), and cmd/lolbench regenerates the tables with pass/fail
+// status (experiments T1, T2, T3).
 package conformance
 
 import (
 	"fmt"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
-	"repro/internal/interp"
 )
 
 // Row is one table row: a language construct and a program demonstrating it.
@@ -25,8 +26,10 @@ type Row struct {
 	WantCheck func(out string) error // alternative predicate for nondeterministic rows
 }
 
-// Run executes the row's program on the given backend and checks output.
-func (r Row) Run(backend core.Backend) error {
+// Run executes the row's program on the given execution engine and checks
+// output. Engines come from the backend registry (importing core registers
+// all of them); see Engines.
+func (r Row) Run(eng backend.Backend) error {
 	np := r.NP
 	if np == 0 {
 		np = 1
@@ -36,15 +39,12 @@ func (r Row) Run(backend core.Backend) error {
 		return fmt.Errorf("parse: %w", err)
 	}
 	var out strings.Builder
-	_, err = prog.Run(core.RunConfig{
-		Backend: backend,
-		Config: interp.Config{
-			NP:          np,
-			Seed:        2017,
-			Stdout:      &out,
-			Stdin:       strings.NewReader(r.Stdin),
-			GroupOutput: true,
-		},
+	_, err = eng.Run(prog.Info, backend.Config{
+		NP:          np,
+		Seed:        2017,
+		Stdout:      &out,
+		Stdin:       strings.NewReader(r.Stdin),
+		GroupOutput: true,
 	})
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
@@ -57,6 +57,10 @@ func (r Row) Run(backend core.Backend) error {
 	}
 	return nil
 }
+
+// Engines returns every registered execution engine; the conformance
+// corpus is the engines × rows matrix.
+func Engines() []backend.Backend { return backend.All() }
 
 // All returns every conformance row, Tables I through III in paper order.
 func All() []Row {

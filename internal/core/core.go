@@ -1,6 +1,8 @@
 // Package core is the public face of the parallel-LOLCODE system: it ties
-// the frontend (lexer, parser, sema) to the execution backends (interpreter
-// and compiled closures) over the shmem SPMD runtime.
+// the frontend (lexer, parser, sema) to the execution backends — the
+// tree-walking interpreter, the bytecode VM, and the closure compiler —
+// over the shmem SPMD runtime. Importing core links in all three engines,
+// so every backend.Backend is registered and selectable by name.
 //
 // A minimal session, the library equivalent of the paper's
 // `lcc code.lol -o x && coprsh -np 16 ./x`:
@@ -20,6 +22,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sema"
 	"repro/internal/shmem"
+	"repro/internal/vm"
 )
 
 // Program is a parsed and semantically checked parallel-LOLCODE program.
@@ -30,6 +33,7 @@ type Program struct {
 	Info   *sema.Info
 
 	compiled *compile.Program // lazily built by the compile backend
+	bytecode *vm.Program      // lazily built by the vm backend
 }
 
 // Parse parses and checks LOLCODE source. file is used in diagnostics.
@@ -54,7 +58,9 @@ func ParseFile(path string) (*Program, error) {
 	return Parse(path, string(src))
 }
 
-// Backend selects an execution strategy.
+// Backend selects an execution strategy. The three values cover the
+// classic design space of the paper's compiler-vs-interpreter argument;
+// each corresponds to a registered backend.Backend of the same name.
 type Backend int
 
 const (
@@ -64,27 +70,45 @@ const (
 	// BackendInterp walks the AST directly — the baseline an interpreter
 	// represents in the paper's compiler-vs-interpreter argument.
 	BackendInterp
+	// BackendVM compiles to slot-addressed bytecode and runs a stack VM per
+	// PE — the middle point between the two extremes.
+	BackendVM
 )
 
 func (b Backend) String() string {
-	if b == BackendInterp {
+	switch b {
+	case BackendInterp:
 		return "interp"
+	case BackendVM:
+		return "vm"
 	}
 	return "compile"
 }
 
-// RunConfig is the execution configuration shared by both backends; it is
+// Backends lists every selectable backend, interpreter first (the paper's
+// baseline ordering for the E1 comparison).
+func Backends() []Backend { return []Backend{BackendInterp, BackendVM, BackendCompile} }
+
+// RunConfig is the execution configuration shared by every backend; it is
 // interp.Config with a backend selector.
 type RunConfig struct {
 	interp.Config
 	Backend Backend
 }
 
-// Run executes the program SPMD across cfg.NP processing elements.
+// Run executes the program SPMD across cfg.NP processing elements. The
+// prepared form of each compiling backend is cached on the Program, so
+// repeated runs pay compilation once.
 func (p *Program) Run(cfg RunConfig) (*interp.Result, error) {
 	switch cfg.Backend {
 	case BackendInterp:
 		return interp.Run(p.Info, cfg.Config)
+	case BackendVM:
+		vp, err := p.Bytecode()
+		if err != nil {
+			return nil, err
+		}
+		return vp.Run(cfg.Config)
 	default:
 		cp, err := p.Compiled()
 		if err != nil {
@@ -104,6 +128,18 @@ func (p *Program) Compiled() (*compile.Program, error) {
 		p.compiled = cp
 	}
 	return p.compiled, nil
+}
+
+// Bytecode returns the bytecode-compiled form, building it on first use.
+func (p *Program) Bytecode() (*vm.Program, error) {
+	if p.bytecode == nil {
+		vp, err := vm.Compile(p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("vm-compile %s: %w", p.File, err)
+		}
+		p.bytecode = vp
+	}
+	return p.bytecode, nil
 }
 
 // NewWorld builds a shmem world sized for this program, for callers that

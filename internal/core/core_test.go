@@ -34,7 +34,7 @@ func runFile(t *testing.T, name string, np int, backend Backend) string {
 	return out.String()
 }
 
-var backends = []Backend{BackendInterp, BackendCompile}
+var backends = Backends()
 
 // TestLocksListing checks the paper's §VI.B behaviour: with the implicit
 // lock, np concurrent increments of PE 0's counter produce exactly np.
@@ -239,9 +239,9 @@ func TestPrimesProgram(t *testing.T) {
 	}
 }
 
-// TestBackendsAgree runs every testdata program on both backends with the
-// same seed and requires identical output — the differential test that
-// keeps the compiler honest against the interpreter.
+// TestBackendsAgree runs every testdata program on all three backends with
+// the same seed and requires identical output — the differential test that
+// keeps the VM and the compiler honest against the interpreter.
 func TestBackendsAgree(t *testing.T) {
 	files, err := filepath.Glob(testdata("*.lol"))
 	if err != nil {
@@ -254,10 +254,11 @@ func TestBackendsAgree(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			np := 4
-			iOut := runFile(t, name, np, BackendInterp)
-			cOut := runFile(t, name, np, BackendCompile)
-			if iOut != cOut {
-				t.Errorf("backends disagree:\ninterp:  %q\ncompile: %q", iOut, cOut)
+			ref := runFile(t, name, np, BackendInterp)
+			for _, b := range []Backend{BackendVM, BackendCompile} {
+				if got := runFile(t, name, np, b); got != ref {
+					t.Errorf("%v disagrees with interp:\ninterp: %q\n%v:     %q", b, ref, b, got)
+				}
 			}
 		})
 	}

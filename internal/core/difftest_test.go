@@ -35,7 +35,7 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 				t.Fatalf("generator produced invalid program: %v\n%s", err, src)
 			}
 			outs := make(map[Backend]string)
-			for _, b := range []Backend{BackendInterp, BackendCompile} {
+			for _, b := range Backends() {
 				var out strings.Builder
 				_, err := prog.Run(RunConfig{
 					Backend: b,
@@ -46,9 +46,11 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 				}
 				outs[b] = out.String()
 			}
-			if outs[BackendInterp] != outs[BackendCompile] {
-				t.Errorf("backends disagree:\ninterp:  %q\ncompile: %q\n--- program ---\n%s",
-					outs[BackendInterp], outs[BackendCompile], src)
+			for _, b := range []Backend{BackendVM, BackendCompile} {
+				if outs[b] != outs[BackendInterp] {
+					t.Errorf("backends disagree:\ninterp: %q\n%v:     %q\n--- program ---\n%s",
+						outs[BackendInterp], b, outs[b], src)
+				}
 			}
 		})
 	}

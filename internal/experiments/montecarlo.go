@@ -1,0 +1,47 @@
+package experiments
+
+import "fmt"
+
+// GenMonteCarlo builds the Monte Carlo pi workload: every PE throws darts
+// at the unit square using its own WHATEVAR stream (Table III), writes its
+// hit count one-sided into PE 0's symmetric array, and PE 0 combines after
+// the barrier. np sizes the result array and must match the PE count the
+// program is launched with. examples/montecarlo runs it standalone; the E1
+// experiment and the backend benchmarks use it as the random-heavy kernel.
+func GenMonteCarlo(darts, np int) string {
+	return fmt.Sprintf(`HAI 1.2
+I HAS A darts ITZ A NUMBR AN ITZ %d
+WE HAS A hits ITZ SRSLY LOTZ A NUMBRS AN THAR IZ %d
+BTW synchronize so no PE's one-sided write can beat PE 0's allocation
+HUGZ
+
+I HAS A x ITZ SRSLY A NUMBAR
+I HAS A y ITZ SRSLY A NUMBAR
+I HAS A insider ITZ A NUMBR AN ITZ 0
+
+IM IN YR throwin UPPIN YR i TIL BOTH SAEM i AN darts
+  x R WHATEVAR
+  y R WHATEVAR
+  SMALLR SUM OF SQUAR OF x AN SQUAR OF y AN 1.0, O RLY?
+  YA RLY
+    insider R SUM OF insider AN 1
+  OIC
+IM OUTTA YR throwin
+
+TXT MAH BFF 0, UR hits'Z ME R insider
+
+HUGZ
+
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  I HAS A total ITZ A NUMBR AN ITZ 0
+  IM IN YR gatherin UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    total R SUM OF total AN hits'Z k
+  IM OUTTA YR gatherin
+  I HAS A pi ITZ SRSLY A NUMBAR
+  pi R QUOSHUNT OF PRODUKT OF 4.0 AN MAEK total A NUMBAR ...
+    AN PRODUKT OF MAEK darts A NUMBAR AN MAEK MAH FRENZ A NUMBAR
+  VISIBLE pi
+OIC
+KTHXBYE`, darts, np)
+}

@@ -99,6 +99,7 @@ func GenNBody(particles, steps int) string {
 type BackendsResult struct {
 	Workload string
 	Interp   time.Duration
+	VM       time.Duration
 	Compile  time.Duration
 }
 
@@ -110,9 +111,19 @@ func (r BackendsResult) Speedup() float64 {
 	return float64(r.Interp) / float64(r.Compile)
 }
 
+// VMSpeedup is the interpreter-to-VM ratio.
+func (r BackendsResult) VMSpeedup() float64 {
+	if r.VM == 0 {
+		return 0
+	}
+	return float64(r.Interp) / float64(r.VM)
+}
+
 // Backends measures experiment E1: the paper's claim that a compiler "is
-// more flexible and efficient than an interpreter". Each workload runs on
-// both backends with identical seeds; outputs are compared for agreement.
+// more flexible and efficient than an interpreter", now a three-way
+// comparison across the design space — tree-walker, bytecode VM, closure
+// compiler. Each workload runs on every backend with identical seeds;
+// outputs are compared for agreement.
 func Backends(w io.Writer) ([]BackendsResult, error) {
 	workloads := []struct {
 		name string
@@ -121,12 +132,14 @@ func Backends(w io.Writer) ([]BackendsResult, error) {
 	}{
 		{"scalar-arith (50k iters)", genArithLoop(50_000), 1},
 		{"array-stride (20k iters)", genArrayLoop(20_000), 1},
+		{"montecarlo 20k darts np=2", GenMonteCarlo(20_000, 2), 2},
 		{"nbody 16p x 4steps np=2", GenNBody(16, 4), 2},
 		{"nbody 32p x 10steps np=2 (paper)", GenNBody(32, 10), 2},
 	}
 
 	fmt.Fprintf(w, "E1 — execution backends (paper: compiled LOLCODE vs interpreter)\n")
-	fmt.Fprintf(w, "%-34s %-12s %-12s %-8s\n", "workload", "interp", "compile", "speedup")
+	fmt.Fprintf(w, "%-34s %-12s %-12s %-12s %-10s %-8s\n",
+		"workload", "interp", "vm", "compile", "vm-speedup", "speedup")
 
 	var results []BackendsResult
 	for _, wl := range workloads {
@@ -147,16 +160,22 @@ func Backends(w io.Writer) ([]BackendsResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s interp: %w", wl.name, err)
 		}
+		vTime, vOut, err := run(core.BackendVM)
+		if err != nil {
+			return nil, fmt.Errorf("%s vm: %w", wl.name, err)
+		}
 		cTime, cOut, err := run(core.BackendCompile)
 		if err != nil {
 			return nil, fmt.Errorf("%s compile: %w", wl.name, err)
 		}
-		if iOut != cOut {
+		if iOut != cOut || iOut != vOut {
 			return nil, fmt.Errorf("%s: backends disagree on output", wl.name)
 		}
-		r := BackendsResult{Workload: wl.name, Interp: iTime, Compile: cTime}
+		r := BackendsResult{Workload: wl.name, Interp: iTime, VM: vTime, Compile: cTime}
 		results = append(results, r)
-		fmt.Fprintf(w, "%-34s %-12v %-12v %.2fx\n", r.Workload, r.Interp.Round(time.Microsecond), r.Compile.Round(time.Microsecond), r.Speedup())
+		fmt.Fprintf(w, "%-34s %-12v %-12v %-12v %-10s %.2fx\n",
+			r.Workload, r.Interp.Round(time.Microsecond), r.VM.Round(time.Microsecond),
+			r.Compile.Round(time.Microsecond), fmt.Sprintf("%.2fx", r.VMSpeedup()), r.Speedup())
 	}
 	return results, nil
 }

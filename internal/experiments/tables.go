@@ -18,12 +18,12 @@ import (
 	"io"
 
 	"repro/internal/conformance"
-	"repro/internal/core"
 )
 
 // Tables regenerates paper Tables I-III (experiments T1-T3): every
-// construct row is executed on both backends and reported pass/fail.
-// It returns an error if any row fails.
+// construct row is executed on every registered execution engine and
+// reported pass/fail — the backend×fixture conformance matrix. It returns
+// an error if any cell fails.
 func Tables(w io.Writer, which string) error {
 	var rows []conformance.Row
 	switch which {
@@ -39,24 +39,32 @@ func Tables(w io.Writer, which string) error {
 		return fmt.Errorf("experiments: unknown table %q (want I, II, III, or all)", which)
 	}
 
+	engines := conformance.Engines()
 	failures := 0
 	cur := ""
 	for _, row := range rows {
 		if row.Table != cur {
 			cur = row.Table
 			fmt.Fprintf(w, "\nTABLE %s — %s\n", cur, tableTitle(cur))
-			fmt.Fprintf(w, "%-55s %-8s %-8s\n", "construct", "interp", "compile")
+			fmt.Fprintf(w, "%-55s", "construct")
+			for _, eng := range engines {
+				fmt.Fprintf(w, " %-8s", eng.Name())
+			}
+			fmt.Fprintln(w)
 		}
-		iRes := status(row.Run(core.BackendInterp))
-		cRes := status(row.Run(core.BackendCompile))
-		if iRes != "ok" || cRes != "ok" {
-			failures++
+		fmt.Fprintf(w, "%-55s", trim(row.Construct, 55))
+		for _, eng := range engines {
+			res := status(row.Run(eng))
+			if res != "ok" {
+				failures++
+			}
+			fmt.Fprintf(w, " %-8s", res)
 		}
-		fmt.Fprintf(w, "%-55s %-8s %-8s\n", trim(row.Construct, 55), iRes, cRes)
+		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "\n%d rows, %d failures\n", len(rows), failures)
+	fmt.Fprintf(w, "\n%d rows x %d engines, %d failures\n", len(rows), len(engines), failures)
 	if failures > 0 {
-		return fmt.Errorf("experiments: %d conformance rows failed", failures)
+		return fmt.Errorf("experiments: %d conformance cells failed", failures)
 	}
 	return nil
 }

@@ -9,10 +9,13 @@ import (
 	"repro/internal/value"
 )
 
-// symbolFor resolves a VarRef through the sema annotations, falling back to
-// the live name table (SRS-produced references).
+// symbolFor resolves a VarRef through the symbol sema attached to the node
+// during slot resolution — a pointer load, not a map lookup; this is the
+// variable-access hot path. Synthetic references built at runtime (SRS,
+// :{var} interpolation) carry no annotation and fall back to the live name
+// table.
 func (ev *evaluator) symbolFor(v *ast.VarRef) *sema.Symbol {
-	if s, ok := ev.info.Refs[v]; ok {
+	if s, ok := v.Sym.(*sema.Symbol); ok {
 		return s
 	}
 	return ev.lookup(v.Name)
@@ -208,10 +211,11 @@ func (ev *evaluator) srsRef(n *ast.Srs) (*ast.VarRef, error) {
 	if err != nil {
 		return nil, rerr(n.Position, fmt.Errorf("SRS: %w", err))
 	}
-	if ev.lookup(name) == nil {
+	sym := ev.lookup(name)
+	if sym == nil {
 		return nil, rerrf(n.Position, "SRS %q: no such variable", name)
 	}
-	return &ast.VarRef{Position: n.Position, Name: name, Space: n.Space}, nil
+	return &ast.VarRef{Position: n.Position, Name: name, Space: n.Space, Sym: sym}, nil
 }
 
 // evalPE evaluates an expression to a PE rank and validates the range.

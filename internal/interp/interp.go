@@ -9,55 +9,33 @@ package interp
 
 import (
 	"fmt"
-	"io"
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/backend"
 	"repro/internal/sema"
 	"repro/internal/shmem"
 	"repro/internal/token"
 	"repro/internal/value"
 )
 
-// Config controls one SPMD execution.
-type Config struct {
-	// NP is the number of processing elements (the coprsh/aprun -np flag).
-	NP int
-	// Model prices one-sided operations; nil runs at zero cost.
-	Model shmem.CostModel
-	// Barrier selects the HUGZ implementation.
-	Barrier shmem.BarrierAlg
-	// Seed is the base seed for WHATEVR/WHATEVAR; PE i uses Seed+i.
-	Seed int64
-	// Stdout and Stderr receive VISIBLE and INVISIBLE output. nil discards.
-	Stdout io.Writer
-	Stderr io.Writer
-	// Stdin feeds GIMMEH; nil reads empty input.
-	Stdin io.Reader
-	// GroupOutput buffers each PE's output and emits it grouped in PE order
-	// after the run, making multi-PE output deterministic for golden tests.
-	GroupOutput bool
-	// Tracer, when non-nil, receives every runtime event (remote accesses,
-	// barriers, lock traffic); see internal/trace for a recorder and the
-	// Figure 2 data-movement renderer.
-	Tracer shmem.Tracer
-}
+// Config, Result and RuntimeError are shared by every execution backend;
+// they live in internal/backend and are aliased here for the package's
+// historical callers.
+type (
+	Config       = backend.Config
+	Result       = backend.Result
+	RuntimeError = backend.RuntimeError
+)
 
-// Result reports what a run did.
-type Result struct {
-	Stats    shmem.StatsSnapshot
-	SimNanos []float64 // per-PE simulated time under the cost model
-}
+// engine implements backend.Backend.
+type engine struct{}
 
-// RuntimeError is an execution error with its source position.
-type RuntimeError struct {
-	Pos token.Pos
-	Err error
-}
+func (engine) Name() string { return "interp" }
 
-func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: %v", e.Pos, e.Err) }
+func (engine) Run(info *sema.Info, cfg Config) (*Result, error) { return Run(info, cfg) }
 
-func (e *RuntimeError) Unwrap() error { return e.Err }
+func init() { backend.Register(engine{}) }
 
 func rerr(pos token.Pos, err error) error {
 	if err == nil {
@@ -88,47 +66,22 @@ func Run(info *sema.Info, cfg Config) (*Result, error) {
 // NewWorld builds the shmem world implied by the program's symmetric
 // symbols; exposed so benchmarks can reuse worlds and inspect models.
 func NewWorld(info *sema.Info, cfg Config) (*shmem.World, error) {
-	syms := make([]shmem.SymbolSpec, len(info.Shared))
-	for i, s := range info.Shared {
-		syms[i] = shmem.SymbolSpec{Name: s.Name, IsArray: s.IsArray, Elem: s.Type}
-	}
-	return shmem.NewWorld(cfg.NP, syms, len(info.Locks), shmem.Options{
-		Model:   cfg.Model,
-		Barrier: cfg.Barrier,
-		Seed:    cfg.Seed,
-		Tracer:  cfg.Tracer,
-	})
+	return backend.NewWorld(info, cfg)
 }
 
 // RunWorld executes the program on an existing world.
 func RunWorld(info *sema.Info, cfg Config, world *shmem.World) (*Result, error) {
-	out := NewOutput(cfg.Stdout, cfg.GroupOutput, cfg.NP)
-	errw := NewOutput(cfg.Stderr, cfg.GroupOutput, cfg.NP)
-	stdin := NewSharedReader(cfg.Stdin)
-
-	res := &Result{SimNanos: make([]float64, cfg.NP)}
-	err := world.Run(func(pe *shmem.PE) error {
+	return backend.RunSPMD(cfg, world, func(pe *shmem.PE, io backend.PEIO) error {
 		ev := &evaluator{
 			info:  info,
 			pe:    pe,
-			out:   out.ForPE(pe.ID()),
-			errw:  errw.ForPE(pe.ID()),
-			stdin: stdin,
+			out:   io.Out,
+			errw:  io.Err,
+			stdin: io.Stdin,
 		}
 		ev.frame = newFrame(len(info.Main.Order))
-		if err := ev.execBlock(info.Prog.Body); err != nil {
-			return err
-		}
-		res.SimNanos[pe.ID()] = pe.SimNanos()
-		return nil
+		return ev.execBlock(info.Prog.Body)
 	})
-	out.Flush()
-	errw.Flush()
-	if err != nil {
-		return nil, err
-	}
-	res.Stats = world.Stats()
-	return res, nil
 }
 
 // frame is one activation record: a value per symbol slot. Arrays are
@@ -285,7 +238,7 @@ func (ev *evaluator) exec(s ast.Stmt) (ctrl, error) {
 }
 
 func (ev *evaluator) execDecl(n *ast.Decl) error {
-	sym := ev.info.Refs[n]
+	sym, _ := n.Sym.(*sema.Symbol)
 	if sym == nil {
 		return rerrf(n.Position, "undeclared symbol %s survived sema", n.Name)
 	}
@@ -442,7 +395,7 @@ func (ev *evaluator) execLoop(n *ast.Loop) (ctrl, error) {
 	var sym *sema.Symbol
 	var saved value.Value
 	if n.Var != "" {
-		sym = ev.info.Refs[n]
+		sym, _ = n.Sym.(*sema.Symbol)
 		if sym == nil {
 			return ctrlNone, rerrf(n.Position, "loop variable %s not resolved", n.Var)
 		}

@@ -66,7 +66,11 @@ func (k SymKind) String() string {
 	return "?"
 }
 
-// Symbol is a resolved variable.
+// Symbol is a resolved variable. Slot and Depth together are the lexical
+// address every backend shares: LOLCODE scoping is function-flat, so two
+// frame depths suffice (0 = the main program frame, 1 = a HOW IZ I frame)
+// and a reference can never see a frame other than its own — which is why
+// the interpreter and the VM address variables by Slot alone.
 type Symbol struct {
 	Name    string
 	Kind    SymKind
@@ -76,6 +80,7 @@ type Symbol struct {
 	IsArray bool
 	Sharin  bool // AN IM SHARIN IT: has an implicit lock
 	Slot    int  // index into the owning frame
+	Depth   int  // lexical frame depth: 0 = main, 1 = function body
 	Heap    int  // symmetric heap index for shared symbols; -1 otherwise
 	Lock    int  // lock index for Sharin symbols; -1 otherwise
 }
@@ -86,12 +91,16 @@ type Symbol struct {
 type Scope struct {
 	Names map[string]*Symbol
 	Order []*Symbol // slot order
+	Depth int       // lexical frame depth: 0 = main, 1 = function body
 }
 
-func newScope() *Scope { return &Scope{Names: make(map[string]*Symbol)} }
+func newScope(depth int) *Scope {
+	return &Scope{Names: make(map[string]*Symbol), Depth: depth}
+}
 
 func (s *Scope) declare(sym *Symbol) {
 	sym.Slot = len(s.Order)
+	sym.Depth = s.Depth
 	s.Names[sym.Name] = sym
 	s.Order = append(s.Order, sym)
 }
@@ -138,7 +147,7 @@ func Check(prog *ast.Program) (*Info, error) {
 	c := &checker{
 		info: &Info{
 			Prog:  prog,
-			Main:  newScope(),
+			Main:  newScope(0),
 			Funcs: make(map[string]*FuncInfo),
 			Refs:  make(map[ast.Node]*Symbol),
 		},
@@ -167,7 +176,7 @@ func Check(prog *ast.Program) (*Info, error) {
 		if fi == nil || fi.Decl != fd {
 			continue // duplicate
 		}
-		fi.Scope = newScope()
+		fi.Scope = newScope(1)
 		saved := c.scope
 		c.scope = fi.Scope
 		c.scope.declare(&Symbol{Name: "IT", Kind: SymIt, Heap: -1, Lock: -1})
@@ -334,6 +343,7 @@ func (c *checker) decl(n *ast.Decl) {
 	}
 	c.scope.declare(sym)
 	c.info.Refs[n] = sym
+	n.Sym = sym
 
 	if n.Size != nil {
 		c.expr(n.Size)
@@ -353,12 +363,14 @@ func (c *checker) loop(n *ast.Loop) {
 	if n.Var != "" {
 		if existing, ok := c.scope.Names[n.Var]; ok {
 			c.info.Refs[n] = existing
+			n.Sym = existing
 		} else {
 			// The paper's n-body listing uses undeclared loop counters; they
 			// are implicitly declared as NUMBR 0 for the loop's duration.
 			implicit = &Symbol{Name: n.Var, Kind: SymLoopVar, Type: value.Numbr, Heap: -1, Lock: -1}
 			c.scope.declare(implicit)
 			c.info.Refs[n] = implicit
+			n.Sym = implicit
 		}
 	}
 	if n.Cond != nil {
@@ -462,6 +474,7 @@ func (c *checker) resolve(v *ast.VarRef) *Symbol {
 		c.errorf(v.Position, "UR %s: only WE HAS A symmetric variables are remotely addressable", v.Name)
 	}
 	c.info.Refs[v] = sym
+	v.Sym = sym
 	return sym
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/ast"
 	"repro/internal/parser"
 	"repro/internal/sema"
 )
@@ -173,5 +174,68 @@ KTHXBYE`, "has not been declared")
 func TestItAlwaysVisible(t *testing.T) {
 	if err := check(t, "HAI 1.2\nVISIBLE IT\nKTHXBYE"); err != nil {
 		t.Errorf("IT should always resolve: %v", err)
+	}
+}
+
+// TestSlotResolutionAnnotatesNodes checks the slot-resolution pass every
+// backend shares: each VarRef, Decl, and counted Loop carries its resolved
+// symbol with a stable frame slot and lexical depth.
+func TestSlotResolutionAnnotatesNodes(t *testing.T) {
+	prog, err := parser.Parse("t.lol", `HAI 1.2
+HOW IZ I f YR p
+  I HAS A local ITZ p
+  FOUND YR local
+IF U SAY SO
+I HAS A x ITZ 1
+I HAS A y ITZ 2
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 2
+  y R SUM OF y AN x
+IM OUTTA YR loop
+VISIBLE I IZ f YR y MKAY
+KTHXBYE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	syms := map[string]*sema.Symbol{}
+	for _, s := range info.Main.Order {
+		syms[s.Name] = s
+	}
+	// IT always owns slot 0; declarations follow in source order.
+	for name, slot := range map[string]int{"IT": 0, "x": 1, "y": 2, "i": 3} {
+		s := syms[name]
+		if s == nil {
+			t.Fatalf("main frame has no symbol %s", name)
+		}
+		if s.Slot != slot || s.Depth != 0 {
+			t.Errorf("%s = slot %d depth %d, want slot %d depth 0", name, s.Slot, s.Depth, slot)
+		}
+	}
+	for _, s := range info.Funcs["f"].Scope.Order {
+		if s.Depth != 1 {
+			t.Errorf("function symbol %s has depth %d, want 1", s.Name, s.Depth)
+		}
+	}
+
+	// Every resolved node must carry the same *Symbol the Refs table has.
+	annotated := 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if v, ok := n.(*ast.VarRef); ok {
+			sym, _ := v.Sym.(*sema.Symbol)
+			if sym == nil {
+				t.Errorf("VarRef %s at %s not annotated", v.Name, v.Position)
+			} else if info.Refs[v] != sym {
+				t.Errorf("VarRef %s annotation disagrees with Refs", v.Name)
+			}
+			annotated++
+		}
+		return true
+	})
+	if annotated == 0 {
+		t.Fatal("walk found no VarRefs")
 	}
 }

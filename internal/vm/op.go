@@ -1,0 +1,159 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/sema"
+	"repro/internal/token"
+	"repro/internal/value"
+)
+
+// Op is a bytecode operation. The VM is a value-stack machine: operands
+// named in the comments are popped from (and results pushed onto) the
+// evaluation stack; A and B are immediate operands baked into the
+// instruction at compile time.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// --- stack and constants
+	OpConst // push Consts[A]
+	OpPop   // drop the top of stack
+	OpDup   // duplicate the top of stack
+
+	// --- frame slots (sema-resolved lexical addresses)
+	OpLoadSlot      // push slots[A]
+	OpStoreSlot     // slots[A] = pop
+	OpStoreSlotCast // slots[A] = cast(pop, Kind(B)); S names the SRSLY var
+	OpStoreSlotArr  // array-aware store into slots[A]: copy into an existing array
+	OpIncSlot       // slots[A] = NUMBR(slots[A]) + B (B is +1 or -1); S names the loop var
+
+	// --- symmetric heap (PGAS); B&flagRemote selects the predication target
+	OpLoadHeap     // push scalar heap[A] (local get, or remote get of pred target)
+	OpLoadHeapArr  // push a deep copy of array heap[A] (GetArray)
+	OpStoreHeap    // put pop into heap[A] of the target PE
+	OpStoreHeapArr // put array pop into heap[A] of the target PE; S names the array
+	OpLoadElem     // i=pop; push heap[A][i] of the target PE
+	OpStoreElem    // i=pop, v=pop; heap[A][i] of the target PE = v
+	OpLoadElemSlot // i=pop; push slots[A][i]; S names the array
+	OpStoreElemSlot
+	OpDeclArrSlot // size=pop; slots[A] = new array of Kind(B); S names the array
+	OpDeclArrHeap // size=pop; allocate heap[A] symmetrically; S names the array
+	OpInitHeap    // v=pop; initialize scalar heap[A]
+
+	// --- operators
+	OpBinary // y=pop, x=pop; push Binary(BinOp(A), x, y)
+	OpUnary  // x=pop; push Unary(UnOp(A), x)
+	OpCast   // x=pop; push Cast(x, Kind(A)); S gives the error context
+	OpTroof  // x=pop; push TROOF(x.ToTroof())
+	OpEqual  // y=pop, x=pop; push TROOF(Equal(x, y))  (WTF? case dispatch)
+	OpConcat // pop A values; push the YARN of their Displays (:{} interpolation)
+	OpSmoosh // pop A values; push Nary(OpSmoosh, ...)
+
+	// --- control flow (A is the absolute jump target, patched at compile)
+	OpJump
+	OpJumpFalse     // pop; jump when not truthy
+	OpJumpTrue      // pop; jump when truthy
+	OpJumpFalseKeep // peek; jump when not truthy, keeping the value (short-circuit)
+	OpJumpTrueKeep  // peek; jump when truthy, keeping the value (short-circuit)
+
+	// --- I/O
+	OpVisible // pop A values; write their Displays; B flags: visNoNewline|visStderr
+	OpGimmeh  // push the next stdin line as a YARN
+
+	// --- parallel extensions (paper Table II)
+	OpBarrier     // HUGZ
+	OpLockAcquire // IM SRSLY MESIN WIF lock A; sets IT to WIN
+	OpLockTry     // IM MESIN WIF lock A; sets IT to the outcome
+	OpLockRelease // DUN MESIN WIF lock A
+	OpPredPush    // pop a PE rank, validate, push onto the predication stack
+	OpPredPop     // pop A entries off the predication stack
+
+	// --- builtins
+	OpMe       // push the PE id
+	OpMahFrenz // push the PE count
+	OpWhatevr  // push a random NUMBR
+	OpWhatevar // push a random NUMBAR in [0,1)
+
+	// --- dynamic symbol access (SRS); B is the ast.Space
+	OpSrsLoad  // name=pop; resolve in the frame scope and read
+	OpSrsStore // name=pop, v=pop; resolve and write
+
+	// --- calls
+	OpCall     // call Funcs[A] with B arguments popped from the stack; S names it
+	OpReturn   // v=pop; unwind the frame and push v on the caller's stack
+	OpReturnIT // return the frame's IT (fall-off-the-end semantics)
+	OpHalt     // end of the main chunk
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpPop: "pop", OpDup: "dup",
+	OpLoadSlot: "load.slot", OpStoreSlot: "store.slot",
+	OpStoreSlotCast: "store.slot.cast", OpStoreSlotArr: "store.slot.arr",
+	OpIncSlot:  "inc.slot",
+	OpLoadHeap: "load.heap", OpLoadHeapArr: "load.heap.arr",
+	OpStoreHeap: "store.heap", OpStoreHeapArr: "store.heap.arr",
+	OpLoadElem: "load.elem", OpStoreElem: "store.elem",
+	OpLoadElemSlot: "load.elem.slot", OpStoreElemSlot: "store.elem.slot",
+	OpDeclArrSlot: "decl.arr.slot", OpDeclArrHeap: "decl.arr.heap",
+	OpInitHeap: "init.heap",
+	OpBinary:   "binary", OpUnary: "unary", OpCast: "cast", OpTroof: "troof",
+	OpEqual: "equal", OpConcat: "concat", OpSmoosh: "smoosh",
+	OpJump: "jump", OpJumpFalse: "jump.false", OpJumpTrue: "jump.true",
+	OpJumpFalseKeep: "jump.false.keep", OpJumpTrueKeep: "jump.true.keep",
+	OpVisible: "visible", OpGimmeh: "gimmeh",
+	OpBarrier: "barrier", OpLockAcquire: "lock.acquire", OpLockTry: "lock.try",
+	OpLockRelease: "lock.release", OpPredPush: "pred.push", OpPredPop: "pred.pop",
+	OpMe: "me", OpMahFrenz: "mahfrenz", OpWhatevr: "whatevr", OpWhatevar: "whatevar",
+	OpSrsLoad: "srs.load", OpSrsStore: "srs.store",
+	OpCall: "call", OpReturn: "return", OpReturnIT: "return.it", OpHalt: "halt",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// OpVisible B flags.
+const (
+	visNoNewline = 1 << iota
+	visStderr
+)
+
+// flagRemote in B marks a heap access as addressing the predication target
+// (a UR reference) instead of the local PE.
+const flagRemote = 1
+
+// Instr is one decoded instruction. The VM trades the byte-packed encoding
+// of a production VM for direct struct access: no operand decoding on the
+// hot path, and every instruction carries its source position for errors.
+type Instr struct {
+	Op   Op
+	A, B int
+	S    string // symbol name for error messages; usually empty
+	Pos  token.Pos
+}
+
+func (in Instr) String() string {
+	s := fmt.Sprintf("%-16s A=%d B=%d", in.Op, in.A, in.B)
+	if in.S != "" {
+		s += " S=" + in.S
+	}
+	return s
+}
+
+// Chunk is one compiled frame body: the main program or one HOW IZ I
+// function. NSlots is the frame size computed by sema's slot resolution;
+// Scope is retained only for the dynamic name lookups SRS and :{var}
+// interpolation need at runtime.
+type Chunk struct {
+	Name   string
+	Code   []Instr
+	Consts []value.Value
+	NSlots int
+	Params int
+	Scope  *sema.Scope
+}

@@ -1,0 +1,600 @@
+// Package vm is the bytecode execution backend: a compact stack VM with
+// sema-resolved variable slots, sitting between the tree-walking
+// interpreter and the closure compiler in the classic design space the
+// paper's compiler-vs-interpreter argument spans. The bytecode compiler
+// resolves symbols, operator dispatch and jump targets once; the VM then
+// runs one instruction loop per PE over the shmem SPMD runtime, so the
+// per-statement cost is a switch on an opcode instead of an AST type
+// switch.
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/backend"
+	"repro/internal/sema"
+	"repro/internal/shmem"
+	"repro/internal/token"
+	"repro/internal/value"
+)
+
+// engine implements backend.Backend. It recompiles on every Run; callers
+// that run one program repeatedly should hold a Program (core.Program
+// caches one per engine).
+type engine struct{}
+
+func (engine) Name() string { return "vm" }
+
+func (engine) Run(info *sema.Info, cfg backend.Config) (*backend.Result, error) {
+	p, err := Compile(info)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(cfg)
+}
+
+func init() { backend.Register(engine{}) }
+
+// Program is a compiled bytecode program, safe for concurrent runs.
+type Program struct {
+	info    *sema.Info
+	Main    *Chunk
+	Funcs   []*Chunk // indexed by OpCall's A operand
+	funcIdx map[string]int
+}
+
+const maxCallDepth = 10_000
+
+// Run executes the program under cfg.
+func (p *Program) Run(cfg backend.Config) (*backend.Result, error) {
+	if cfg.NP <= 0 {
+		cfg.NP = 1
+	}
+	world, err := backend.NewWorld(p.info, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunWorld(cfg, world)
+}
+
+// RunWorld executes the program on an existing world, one VM per PE.
+func (p *Program) RunWorld(cfg backend.Config, world *shmem.World) (*backend.Result, error) {
+	return backend.RunSPMD(cfg, world, func(pe *shmem.PE, io backend.PEIO) error {
+		r := &runner{
+			prog:  p,
+			pe:    pe,
+			out:   io.Out,
+			errw:  io.Err,
+			stdin: io.Stdin,
+		}
+		return r.run()
+	})
+}
+
+func rerr(pos token.Pos, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*backend.RuntimeError); ok {
+		return err
+	}
+	return &backend.RuntimeError{Pos: pos, Err: err}
+}
+
+func rerrf(pos token.Pos, format string, args ...any) error {
+	return &backend.RuntimeError{Pos: pos, Err: fmt.Errorf(format, args...)}
+}
+
+// frame is one activation record: the chunk being executed, its slot
+// array, and the stack/predication watermarks to restore on return.
+type frame struct {
+	chunk     *Chunk
+	ip        int
+	slots     []value.Value
+	stackBase int
+	predBase  int
+}
+
+// runner is one PE's virtual machine.
+type runner struct {
+	prog  *Program
+	pe    *shmem.PE
+	out   *backend.PEWriter
+	errw  *backend.PEWriter
+	stdin *backend.SharedReader
+
+	stack  []value.Value
+	frames []frame
+	pred   []int // TXT MAH BFF predication stack of target PE ids
+}
+
+func (r *runner) push(v value.Value) { r.stack = append(r.stack, v) }
+
+func (r *runner) pop() value.Value {
+	v := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return v
+}
+
+// popInt pops an array index.
+func (r *runner) popInt(pos token.Pos) (int, error) {
+	i, err := r.pop().ToNumbr()
+	if err != nil {
+		return 0, rerr(pos, fmt.Errorf("array index: %w", err))
+	}
+	return int(i), nil
+}
+
+// predTarget returns the active predication target.
+func (r *runner) predTarget(pos token.Pos) (int, error) {
+	if len(r.pred) == 0 {
+		return 0, rerrf(pos, "UR used outside of TXT MAH BFF predication")
+	}
+	return r.pred[len(r.pred)-1], nil
+}
+
+// target resolves which PE a heap access addresses.
+func (r *runner) target(in *Instr) (pe int, remote bool, err error) {
+	if in.B&flagRemote != 0 {
+		t, err := r.predTarget(in.Pos)
+		return t, true, err
+	}
+	return r.pe.ID(), false, nil
+}
+
+// run executes the main chunk to completion.
+func (r *runner) run() error {
+	r.frames = append(r.frames, frame{
+		chunk: r.prog.Main,
+		slots: make([]value.Value, r.prog.Main.NSlots),
+	})
+	fr := &r.frames[0]
+	for {
+		in := &fr.chunk.Code[fr.ip]
+		fr.ip++
+		switch in.Op {
+		case OpNop:
+
+		case OpConst:
+			r.push(fr.chunk.Consts[in.A])
+		case OpPop:
+			r.stack = r.stack[:len(r.stack)-1]
+		case OpDup:
+			r.push(r.stack[len(r.stack)-1])
+
+		case OpLoadSlot:
+			r.push(fr.slots[in.A])
+		case OpStoreSlot:
+			fr.slots[in.A] = r.pop()
+		case OpStoreSlotCast:
+			cv, err := value.Cast(r.pop(), value.Kind(in.B))
+			if err != nil {
+				return rerr(in.Pos, fmt.Errorf("assigning to SRSLY %s %s: %w", value.Kind(in.B), in.S, err))
+			}
+			fr.slots[in.A] = cv
+		case OpStoreSlotArr:
+			v := r.pop()
+			if cur := fr.slots[in.A]; v.Kind() == value.ArrayK && cur.Kind() == value.ArrayK {
+				// Whole-array assignment copies contents (value semantics).
+				if err := cur.Array().CopyFrom(v.Array()); err != nil {
+					return rerr(in.Pos, err)
+				}
+			} else {
+				fr.slots[in.A] = v
+			}
+		case OpIncSlot:
+			cur, err := fr.slots[in.A].ToNumbr()
+			if err != nil {
+				return rerr(in.Pos, fmt.Errorf("loop variable %s: %w", in.S, err))
+			}
+			fr.slots[in.A] = value.NewNumbr(cur + int64(in.B))
+
+		case OpLoadHeap:
+			if in.B&flagRemote != 0 {
+				t, err := r.predTarget(in.Pos)
+				if err != nil {
+					return err
+				}
+				v, err := r.pe.Get(t, in.A)
+				if err != nil {
+					return rerr(in.Pos, err)
+				}
+				r.push(v)
+			} else {
+				v, err := r.pe.LocalGet(in.A)
+				if err != nil {
+					return rerr(in.Pos, err)
+				}
+				r.push(v)
+			}
+		case OpLoadHeapArr:
+			t, _, err := r.target(in)
+			if err != nil {
+				return err
+			}
+			// Whole-array read: a deep copy, as on real one-sided hardware.
+			arr, err := r.pe.GetArray(t, in.A)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(value.NewArray(arr))
+		case OpStoreHeap:
+			t, _, err := r.target(in)
+			if err != nil {
+				return err
+			}
+			if err := r.pe.Put(t, in.A, r.pop()); err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpStoreHeapArr:
+			t, _, err := r.target(in)
+			if err != nil {
+				return err
+			}
+			v := r.pop()
+			if v.Kind() != value.ArrayK {
+				return rerrf(in.Pos, "cannot assign %s to array %s", v.Kind(), in.S)
+			}
+			if err := r.pe.PutArray(t, in.A, v.Array()); err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpLoadElem:
+			i, err := r.popInt(in.Pos)
+			if err != nil {
+				return err
+			}
+			t, remote, err := r.target(in)
+			if err != nil {
+				return err
+			}
+			var v value.Value
+			if remote {
+				v, err = r.pe.GetElem(t, in.A, i)
+			} else {
+				v, err = r.pe.LocalGetElem(in.A, i)
+			}
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpStoreElem:
+			i, err := r.popInt(in.Pos)
+			if err != nil {
+				return err
+			}
+			v := r.pop()
+			t, remote, err := r.target(in)
+			if err != nil {
+				return err
+			}
+			if remote {
+				err = r.pe.PutElem(t, in.A, i, v)
+			} else {
+				err = r.pe.LocalSetElem(in.A, i, v)
+			}
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpLoadElemSlot:
+			i, err := r.popInt(in.Pos)
+			if err != nil {
+				return err
+			}
+			av := fr.slots[in.A]
+			if av.Kind() != value.ArrayK {
+				return rerrf(in.Pos, "%s is not an array", in.S)
+			}
+			v, err := av.Array().GetChecked(i)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpStoreElemSlot:
+			i, err := r.popInt(in.Pos)
+			if err != nil {
+				return err
+			}
+			v := r.pop()
+			av := fr.slots[in.A]
+			if av.Kind() != value.ArrayK {
+				return rerrf(in.Pos, "%s is not an array", in.S)
+			}
+			if err := av.Array().Set(i, v); err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpDeclArrSlot:
+			size, err := r.popSize(in)
+			if err != nil {
+				return err
+			}
+			arr, err := value.NewArrayOf(value.Kind(in.B), size)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			fr.slots[in.A] = value.NewArray(arr)
+		case OpDeclArrHeap:
+			size, err := r.popSize(in)
+			if err != nil {
+				return err
+			}
+			if err := r.pe.AllocArray(in.A, size); err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpInitHeap:
+			if err := r.pe.InitScalar(in.A, r.pop()); err != nil {
+				return rerr(in.Pos, err)
+			}
+
+		case OpBinary:
+			y, x := r.pop(), r.pop()
+			v, err := value.Binary(value.BinOp(in.A), x, y)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpUnary:
+			v, err := value.Unary(value.UnOp(in.A), r.pop())
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpCast:
+			v, err := value.Cast(r.pop(), value.Kind(in.A))
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpTroof:
+			r.push(value.NewTroof(r.pop().ToTroof()))
+		case OpEqual:
+			y, x := r.pop(), r.pop()
+			r.push(value.NewTroof(value.Equal(x, y)))
+		case OpConcat:
+			vs := r.stack[len(r.stack)-in.A:]
+			var b strings.Builder
+			for _, v := range vs {
+				b.WriteString(v.Display())
+			}
+			r.stack = r.stack[:len(r.stack)-in.A]
+			r.push(value.NewYarn(b.String()))
+		case OpSmoosh:
+			vs := make([]value.Value, in.A)
+			copy(vs, r.stack[len(r.stack)-in.A:])
+			r.stack = r.stack[:len(r.stack)-in.A]
+			v, err := value.Nary(value.OpSmoosh, vs)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+
+		case OpJump:
+			fr.ip = in.A
+		case OpJumpFalse:
+			if !r.pop().ToTroof() {
+				fr.ip = in.A
+			}
+		case OpJumpTrue:
+			if r.pop().ToTroof() {
+				fr.ip = in.A
+			}
+		case OpJumpFalseKeep:
+			if !r.stack[len(r.stack)-1].ToTroof() {
+				fr.ip = in.A
+			}
+		case OpJumpTrueKeep:
+			if r.stack[len(r.stack)-1].ToTroof() {
+				fr.ip = in.A
+			}
+
+		case OpVisible:
+			vs := r.stack[len(r.stack)-in.A:]
+			var b strings.Builder
+			for _, v := range vs {
+				b.WriteString(v.Display())
+			}
+			r.stack = r.stack[:len(r.stack)-in.A]
+			if in.B&visNoNewline == 0 {
+				b.WriteByte('\n')
+			}
+			if in.B&visStderr != 0 {
+				r.errw.WriteString(b.String())
+			} else {
+				r.out.WriteString(b.String())
+			}
+		case OpGimmeh:
+			line, _ := r.stdin.Line()
+			r.push(value.NewYarn(line))
+
+		case OpBarrier:
+			if err := r.pe.Barrier(); err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpLockAcquire:
+			if err := r.pe.SetLock(in.A); err != nil {
+				return rerr(in.Pos, err)
+			}
+			fr.slots[0] = value.NewTroof(true) // IT
+		case OpLockTry:
+			ok, err := r.pe.TestLock(in.A)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			fr.slots[0] = value.NewTroof(ok) // IT
+		case OpLockRelease:
+			if err := r.pe.ClearLock(in.A); err != nil {
+				return rerr(in.Pos, err)
+			}
+		case OpPredPush:
+			n, err := r.pop().ToNumbr()
+			if err != nil {
+				return rerr(in.Pos, fmt.Errorf("TXT MAH BFF target: %w", err))
+			}
+			if n < 0 || n >= int64(r.pe.NPEs()) {
+				return rerrf(in.Pos, "TXT MAH BFF %d: no such friend (MAH FRENZ is %d)", n, r.pe.NPEs())
+			}
+			r.pred = append(r.pred, int(n))
+		case OpPredPop:
+			r.pred = r.pred[:len(r.pred)-in.A]
+
+		case OpMe:
+			r.push(value.NewNumbr(int64(r.pe.ID())))
+		case OpMahFrenz:
+			r.push(value.NewNumbr(int64(r.pe.NPEs())))
+		case OpWhatevr:
+			// rand()-shaped: a non-negative 31-bit integer.
+			r.push(value.NewNumbr(r.pe.Rand().Int63n(1 << 31)))
+		case OpWhatevar:
+			r.push(value.NewNumbar(r.pe.Rand().Float64()))
+
+		case OpSrsLoad:
+			sym, err := r.srsResolve(fr, in)
+			if err != nil {
+				return err
+			}
+			v, err := r.readSym(fr, sym, ast.Space(in.B), in.Pos)
+			if err != nil {
+				return err
+			}
+			r.push(v)
+		case OpSrsStore:
+			sym, err := r.srsResolve(fr, in)
+			if err != nil {
+				return err
+			}
+			if err := r.writeSym(fr, sym, ast.Space(in.B), in.Pos, r.pop()); err != nil {
+				return err
+			}
+
+		case OpCall:
+			if len(r.frames) > maxCallDepth {
+				return rerrf(in.Pos, "I IZ %s: call depth exceeds %d (runaway recursion?)", in.S, maxCallDepth)
+			}
+			cf := r.prog.Funcs[in.A]
+			slots := make([]value.Value, cf.NSlots)
+			// Slot 0 is IT; parameters follow in declaration order.
+			copy(slots[1:1+in.B], r.stack[len(r.stack)-in.B:])
+			r.stack = r.stack[:len(r.stack)-in.B]
+			r.frames = append(r.frames, frame{
+				chunk:     cf,
+				slots:     slots,
+				stackBase: len(r.stack),
+				predBase:  len(r.pred),
+			})
+			fr = &r.frames[len(r.frames)-1]
+		case OpReturn:
+			v := r.pop()
+			fr = r.unwind(v)
+		case OpReturnIT:
+			fr = r.unwind(fr.slots[0])
+
+		case OpHalt:
+			return nil
+
+		default:
+			return rerrf(in.Pos, "vm: unhandled opcode %v", in.Op)
+		}
+	}
+}
+
+// unwind pops the current frame, restores the caller's stack and
+// predication watermarks, and pushes the return value.
+func (r *runner) unwind(ret value.Value) *frame {
+	top := r.frames[len(r.frames)-1]
+	r.frames = r.frames[:len(r.frames)-1]
+	r.stack = r.stack[:top.stackBase]
+	r.pred = r.pred[:top.predBase]
+	r.push(ret)
+	return &r.frames[len(r.frames)-1]
+}
+
+// popSize pops an array size, rejecting negatives.
+func (r *runner) popSize(in *Instr) (int, error) {
+	n, err := r.pop().ToNumbr()
+	if err != nil {
+		return 0, rerr(in.Pos, fmt.Errorf("array size of %s: %w", in.S, err))
+	}
+	if n < 0 {
+		return 0, rerrf(in.Pos, "array size of %s is negative (%d)", in.S, n)
+	}
+	return int(n), nil
+}
+
+// srsResolve pops a YARN name and resolves it in the frame's scope — the
+// one lookup the language forces to stay dynamic.
+func (r *runner) srsResolve(fr *frame, in *Instr) (*sema.Symbol, error) {
+	name, err := r.pop().ToYarn()
+	if err != nil {
+		return nil, rerr(in.Pos, fmt.Errorf("SRS: %w", err))
+	}
+	sym, ok := fr.chunk.Scope.Names[name]
+	if !ok {
+		return nil, rerrf(in.Pos, "SRS %q: no such variable", name)
+	}
+	return sym, nil
+}
+
+// readSym reads a runtime-resolved symbol (SRS), mirroring the
+// interpreter's readVar.
+func (r *runner) readSym(fr *frame, sym *sema.Symbol, sp ast.Space, pos token.Pos) (value.Value, error) {
+	if sym.Kind != sema.SymShared {
+		return fr.slots[sym.Slot], nil
+	}
+	t, remote := r.pe.ID(), false
+	if sp == ast.SpaceUr {
+		var err error
+		if t, err = r.predTarget(pos); err != nil {
+			return value.NOOB, err
+		}
+		remote = true
+	}
+	if sym.IsArray {
+		arr, err := r.pe.GetArray(t, sym.Heap)
+		if err != nil {
+			return value.NOOB, rerr(pos, err)
+		}
+		return value.NewArray(arr), nil
+	}
+	if !remote {
+		v, err := r.pe.LocalGet(sym.Heap)
+		return v, rerr(pos, err)
+	}
+	v, err := r.pe.Get(t, sym.Heap)
+	return v, rerr(pos, err)
+}
+
+// writeSym writes a runtime-resolved symbol (SRS), mirroring the
+// interpreter's writeVar.
+func (r *runner) writeSym(fr *frame, sym *sema.Symbol, sp ast.Space, pos token.Pos, v value.Value) error {
+	if sym.Static && !sym.IsArray {
+		cv, err := value.Cast(v, sym.Type)
+		if err != nil {
+			return rerr(pos, fmt.Errorf("assigning to SRSLY %s %s: %w", sym.Type, sym.Name, err))
+		}
+		v = cv
+	}
+	if sym.Kind != sema.SymShared {
+		if sym.IsArray && v.Kind() == value.ArrayK {
+			if cur := fr.slots[sym.Slot]; cur.Kind() == value.ArrayK {
+				return rerr(pos, cur.Array().CopyFrom(v.Array()))
+			}
+		}
+		fr.slots[sym.Slot] = v
+		return nil
+	}
+	t := r.pe.ID()
+	if sp == ast.SpaceUr {
+		var err error
+		if t, err = r.predTarget(pos); err != nil {
+			return err
+		}
+	}
+	if sym.IsArray {
+		if v.Kind() != value.ArrayK {
+			return rerrf(pos, "cannot assign %s to array %s", v.Kind(), sym.Name)
+		}
+		return rerr(pos, r.pe.PutArray(t, sym.Heap, v.Array()))
+	}
+	return rerr(pos, r.pe.Put(t, sym.Heap, v))
+}

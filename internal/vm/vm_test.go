@@ -1,0 +1,224 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func compileSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	tree, err := parser.Parse("test.lol", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(tree)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	p, err := Compile(info)
+	if err != nil {
+		t.Fatalf("vm compile: %v", err)
+	}
+	return p
+}
+
+func runSrc(t *testing.T, src string, np int) string {
+	t.Helper()
+	p := compileSrc(t, src)
+	var out strings.Builder
+	if _, err := p.Run(backend.Config{NP: np, Seed: 7, Stdout: &out, GroupOutput: true}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+// TestJumpPatchingResolved checks the compile-time invariant behind every
+// control-flow construct: no emitted jump may keep its -1 placeholder, and
+// every target must land inside the chunk.
+func TestJumpPatchingResolved(t *testing.T) {
+	p := compileSrc(t, `HAI 1.2
+HOW IZ I pick YR n
+  n, WTF?
+  OMG 1
+    FOUND YR "wan"
+  OMG 2
+    VISIBLE "fallin"
+  OMG 3
+    GTFO
+  OMGWTF
+    FOUND YR "lots"
+  OIC
+  FOUND YR "fell out"
+IF U SAY SO
+I HAS A total ITZ 0
+IM IN YR outer UPPIN YR i TIL BOTH SAEM i AN 3
+  IM IN YR inner UPPIN YR j TIL BOTH SAEM j AN 3
+    BOTH SAEM j AN 2, O RLY?
+    YA RLY
+      GTFO
+    MEBBE BOTH SAEM j AN 1
+      total R SUM OF total AN 10
+    NO WAI
+      total R SUM OF total AN 1
+    OIC
+  IM OUTTA YR inner
+IM OUTTA YR outer
+VISIBLE total
+VISIBLE I IZ pick YR 1 MKAY
+KTHXBYE`)
+	for _, chunk := range append([]*Chunk{p.Main}, p.Funcs...) {
+		for i, in := range chunk.Code {
+			switch in.Op {
+			case OpJump, OpJumpTrue, OpJumpFalse, OpJumpTrueKeep, OpJumpFalseKeep:
+				if in.A < 0 || in.A > len(chunk.Code) {
+					t.Errorf("%s[%d]: %v has unpatched or out-of-range target %d",
+						chunk.Name, i, in.Op, in.A)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopBreakAndCounter pins the loop protocol: counters restart at 0,
+// GTFO breaks only the innermost construct, and a declared counter keeps
+// its post-loop value (3 iterations x 11 = the mixed MEBBE arithmetic).
+func TestLoopBreakAndCounter(t *testing.T) {
+	got := runSrc(t, `HAI 1.2
+I HAS A total ITZ 0
+IM IN YR outer UPPIN YR i TIL BOTH SAEM i AN 3
+  IM IN YR inner UPPIN YR j TIL BOTH SAEM j AN 100
+    BOTH SAEM j AN 2, O RLY?
+    YA RLY
+      GTFO
+    NO WAI
+      total R SUM OF total AN 1
+    OIC
+  IM OUTTA YR inner
+IM OUTTA YR outer
+VISIBLE total
+KTHXBYE`, 1)
+	if got != "6\n" {
+		t.Errorf("output = %q, want %q (2 inner iterations x 3 outer)", got, "6\n")
+	}
+}
+
+// TestNestedImplicitCounterRestored checks the slot save/restore the
+// compiler emits around implicit loop counters: an inner loop reusing the
+// outer loop's implicit counter name runs on the same slot but must
+// restore the outer value on exit, or the outer loop never terminates.
+func TestNestedImplicitCounterRestored(t *testing.T) {
+	got := runSrc(t, `HAI 1.2
+IM IN YR outer UPPIN YR i TIL BOTH SAEM i AN 2
+  VISIBLE "outer " i
+  IM IN YR inner UPPIN YR i TIL BOTH SAEM i AN 3
+    VISIBLE "inner " i
+  IM OUTTA YR inner
+IM OUTTA YR outer
+KTHXBYE`, 1)
+	want := "outer 0\ninner 0\ninner 1\ninner 2\nouter 1\ninner 0\ninner 1\ninner 2\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+// TestBreakUnwindsPredication is the pred-stack analog of slot unwinding:
+// a GTFO inside TXT MAH BFF ... TTYL inside a loop must pop the
+// predication entry before jumping out, or the next UR reference would
+// address a stale target. The program breaks out of a predicated block on
+// PE 1, then re-predicates on PE 0 and reads UR x; the compiler must have
+// emitted a pred.pop before the break jump.
+func TestBreakUnwindsPredication(t *testing.T) {
+	src := `HAI 1.2
+WE HAS A x ITZ SRSLY A NUMBR
+x R PRODUKT OF SUM OF ME AN 1 AN 7
+HUGZ
+I HAS A got ITZ 0
+IM IN YR tryin UPPIN YR i TIL BOTH SAEM i AN 4
+  TXT MAH BFF 1 AN STUFF
+    GTFO
+  TTYL
+IM OUTTA YR tryin
+TXT MAH BFF 0, got R UR x
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE got
+OIC
+KTHXBYE`
+	got := runSrc(t, src, 2)
+	if got != "7\n" {
+		t.Errorf("output = %q, want %q (UR x must address PE 0 after the break)", got, "7\n")
+	}
+
+	// And the emitted bytecode must carry the unwinding explicitly: a
+	// pred.pop immediately before a jump that is not the block's own
+	// balanced pop.
+	p := compileSrc(t, src)
+	found := false
+	for i, in := range p.Main.Code {
+		if in.Op == OpPredPop && i+1 < len(p.Main.Code) && p.Main.Code[i+1].Op == OpJump {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no pred.pop emitted before the break jump out of the TXT block")
+	}
+}
+
+// TestFunctionFrames checks call/return through the frame machinery:
+// recursion, GTFO-as-return (NOOB), and fall-off-the-end returning IT.
+func TestFunctionFrames(t *testing.T) {
+	got := runSrc(t, `HAI 1.2
+HOW IZ I fib YR n
+  SMALLR n AN 2, O RLY?
+  YA RLY
+    FOUND YR n
+  OIC
+  FOUND YR SUM OF I IZ fib YR DIFF OF n AN 1 MKAY AN I IZ fib YR DIFF OF n AN 2 MKAY
+IF U SAY SO
+HOW IZ I bail YR n
+  GTFO
+IF U SAY SO
+HOW IZ I implicit YR n
+  PRODUKT OF n AN n
+IF U SAY SO
+VISIBLE I IZ fib YR 10 MKAY
+VISIBLE I IZ bail YR 1 MKAY
+VISIBLE I IZ implicit YR 6 MKAY
+KTHXBYE`, 1)
+	want := "55\nNOOB\n36\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+// TestConstPoolInterned checks constants are deduplicated per chunk.
+func TestConstPoolInterned(t *testing.T) {
+	p := compileSrc(t, `HAI 1.2
+VISIBLE SUM OF 5 AN SUM OF 5 AN SUM OF 5 AN 5
+KTHXBYE`)
+	fives := 0
+	for _, c := range p.Main.Consts {
+		if c.Kind().String() == "NUMBR" && c.Numbr() == 5 {
+			fives++
+		}
+	}
+	if fives != 1 {
+		t.Errorf("constant 5 interned %d times, want 1", fives)
+	}
+}
+
+// TestEngineRegistered checks the vm engine is selectable by name.
+func TestEngineRegistered(t *testing.T) {
+	eng, err := backend.ByName("vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() != "vm" {
+		t.Errorf("engine name = %q, want vm", eng.Name())
+	}
+}

@@ -1,0 +1,17 @@
+BTW Figure 2: the barrier-synchronized neighbour exchange.
+BTW Every PE computes a, puts it into its ring successor's b, and after
+BTW the second HUGZ reads the deterministic sum c = a + b.
+HAI 1.2
+WE HAS A a ITZ SRSLY A NUMBR
+WE HAS A b ITZ SRSLY A NUMBR
+WE HAS A c ITZ SRSLY A NUMBR
+I HAS A me ITZ A NUMBR AN ITZ ME
+I HAS A k ITZ A NUMBR AN ITZ SUM OF ME AN 1
+k R MOD OF k AN MAH FRENZ
+a R PRODUKT OF SUM OF ME AN 1 AN 10
+HUGZ
+TXT MAH BFF k, UR b R MAH a
+HUGZ
+c R SUM OF a AN b
+VISIBLE "PE :{me}:: a=:{a} b=:{b} c=:{c}"
+KTHXBYE

@@ -1,0 +1,30 @@
+BTW Table I modular programming: recursion (gcd), multiple return paths
+BTW (clamp), and a fall-off-the-end return (greet returns IT).
+HAI 1.2
+HOW IZ I gcd YR a AN YR b
+  BOTH SAEM b AN 0, O RLY?
+  YA RLY
+    FOUND YR a
+  OIC
+  FOUND YR I IZ gcd YR b AN YR MOD OF a AN b MKAY
+IF U SAY SO
+HOW IZ I clamp YR x AN YR lo AN YR hi
+  SMALLR x AN lo, O RLY?
+  YA RLY
+    FOUND YR lo
+  OIC
+  BIGGER x AN hi, O RLY?
+  YA RLY
+    FOUND YR hi
+  OIC
+  FOUND YR x
+IF U SAY SO
+HOW IZ I greet
+  SMOOSH "O HAI" AN "!!!" MKAY
+IF U SAY SO
+VISIBLE I IZ gcd YR 252 AN YR 105 MKAY
+VISIBLE I IZ clamp YR 9 AN YR 0 AN YR 10 MKAY
+VISIBLE I IZ clamp YR -7 AN YR 0 AN YR 5 MKAY
+VISIBLE I IZ clamp YR 12 AN YR 1 AN YR 5 MKAY
+VISIBLE I IZ greet MKAY
+KTHXBYE

@@ -1,0 +1,16 @@
+BTW §VI.B: np concurrent increments of PE 0's shared counter, made exact
+BTW by the implicit lock that AN IM SHARIN IT attaches to the symbol.
+HAI 1.2
+WE HAS A counter ITZ SRSLY A NUMBR AN IM SHARIN IT
+HUGZ
+TXT MAH BFF 0 AN STUFF
+  IM SRSLY MESIN WIF counter
+  UR counter R SUM OF UR counter AN 1
+  DUN MESIN WIF counter
+TTYL
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE "COUNTER IZ :{counter}"
+OIC
+KTHXBYE

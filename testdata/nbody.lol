@@ -1,0 +1,89 @@
+BTW The paper's SVI.D 2D n-body listing: 32 particles per PE, 10 steps,
+BTW all-pairs forces with remote reads of every other PE's positions.
+HAI 1.2
+VISIBLE "HAI ITZ " ME " I HAS PARTICLZ 2 MUV 10 TIMEZ"
+I HAS A little_time ITZ SRSLY A NUMBAR AN ITZ 0.001
+I HAS A x ITZ SRSLY A NUMBAR
+I HAS A y ITZ SRSLY A NUMBAR
+I HAS A vx ITZ SRSLY A NUMBAR
+I HAS A vy ITZ SRSLY A NUMBAR
+I HAS A ax ITZ SRSLY A NUMBAR
+I HAS A ay ITZ SRSLY A NUMBAR
+I HAS A dx ITZ SRSLY A NUMBAR
+I HAS A dy ITZ SRSLY A NUMBAR
+I HAS A inv_d ITZ SRSLY A NUMBAR
+I HAS A f ITZ SRSLY A NUMBAR
+I HAS A vel_x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32
+I HAS A vel_y ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32
+I HAS A tmppos_x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32
+I HAS A tmppos_y ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32
+WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32 AN IM SHARIN IT
+WE HAS A pos_y ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32 AN IM SHARIN IT
+HUGZ
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32
+  pos_x'Z i R SUM OF ME AN WHATEVAR
+  pos_y'Z i R SUM OF ME AN WHATEVAR
+  vel_x'Z i R QUOSHUNT OF SUM OF ME AN WHATEVAR AN 1000
+  vel_y'Z i R QUOSHUNT OF SUM OF ME AN WHATEVAR AN 1000
+IM OUTTA YR loop
+BTW erratum fix: synchronize initialization before the first force phase
+HUGZ
+IM IN YR loop UPPIN YR time TIL BOTH SAEM time AN 10
+  IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32
+    x R pos_x'Z i
+    y R pos_y'Z i
+    vx R vel_x'Z i
+    vy R vel_y'Z i
+    ax R 0
+    ay R 0
+    IM IN YR loop UPPIN YR j TIL BOTH SAEM j AN 32
+      DIFFRINT i AN j, O RLY?
+      YA RLY
+        dx R DIFF OF pos_x'Z i AN pos_x'Z j
+        dy R DIFF OF pos_y'Z i AN pos_y'Z j
+        dx R PRODUKT OF dx AN dx
+        dy R PRODUKT OF dy AN dy
+        inv_d R FLIP OF UNSQUAR OF SUM OF dx AN dy
+        f R PRODUKT OF inv_d AN SQUAR OF inv_d
+        ax R SUM OF ax AN PRODUKT OF dx AN f
+        ay R SUM OF ay AN PRODUKT OF dy AN f
+      OIC
+    IM OUTTA YR loop
+    IM IN YR loop UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+      DIFFRINT k AN ME, O RLY?
+      YA RLY
+        IM IN YR loop UPPIN YR j TIL BOTH SAEM j AN 32
+          TXT MAH BFF k AN STUFF
+            dx R DIFF OF pos_x'Z i AN UR pos_x'Z j
+            dy R DIFF OF pos_y'Z i AN UR pos_y'Z j
+          TTYL
+          dx R PRODUKT OF dx AN dx
+          dy R PRODUKT OF dy AN dy
+          inv_d R FLIP OF UNSQUAR OF SUM OF dx AN dy
+          f R PRODUKT OF inv_d AN SQUAR OF inv_d
+          ax R SUM OF ax AN PRODUKT OF dx AN f
+          ay R SUM OF ay AN PRODUKT OF dy AN f
+        IM OUTTA YR loop
+      OIC
+    IM OUTTA YR loop
+    x R SUM OF x AN SUM OF PRODUKT OF vx AN little_time AN PRODUKT OF 0.5 AN PRODUKT OF ax AN SQUAR OF little_time
+    y R SUM OF y AN SUM OF PRODUKT OF vy AN little_time AN PRODUKT OF 0.5 AN PRODUKT OF ay AN SQUAR OF little_time
+    vx R SUM OF vx AN PRODUKT OF ax AN little_time
+    vy R SUM OF vy AN PRODUKT OF ay AN little_time
+    tmppos_x'Z i R x
+    tmppos_y'Z i R y
+    vel_x'Z i R vx
+    vel_y'Z i R vy
+  IM OUTTA YR loop
+  HUGZ
+  IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32
+    pos_x'Z i R tmppos_x'Z i
+    pos_y'Z i R tmppos_y'Z i
+  IM OUTTA YR loop
+  HUGZ
+IM OUTTA YR loop
+VISIBLE "O HAI ITZ " ME ", MAH PARTICLZ IZ::"
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32
+  VISIBLE pos_x'Z i " " pos_y'Z i
+IM OUTTA YR loop
+KTHXBYE

@@ -1,0 +1,57 @@
+BTW Distributed trial-division sieve: PE k tests 2+k, 2+k+np, ... below
+BTW 100, then PE 0 gathers the per-PE counts and the largest prime seen.
+HAI 1.2
+I HAS A pe ITZ A NUMBR AN ITZ ME
+WE HAS A cnt ITZ SRSLY A NUMBR
+WE HAS A big ITZ SRSLY A NUMBR
+I HAS A n ITZ A NUMBR AN ITZ SUM OF 2 AN pe
+I HAS A d ITZ A NUMBR
+IM IN YR huntin UPPIN YR iter WILE SMALLR n AN 100
+  I HAS A izprime ITZ A NUMBR
+  izprime R 1
+  IM IN YR testin UPPIN YR t WILE SMALLR PRODUKT OF SUM OF t AN 2 AN SUM OF t AN 2 AN SUM OF n AN 1
+    d R SUM OF t AN 2
+    BOTH SAEM MOD OF n AN d AN 0, O RLY?
+    YA RLY
+      izprime R 0
+      GTFO
+    OIC
+  IM OUTTA YR testin
+  BOTH SAEM izprime AN 1, O RLY?
+  YA RLY
+    cnt R SUM OF cnt AN 1
+    BIGGER n AN big, O RLY?
+    YA RLY
+      big R n
+    OIC
+  OIC
+  n R SUM OF n AN MAH FRENZ
+IM OUTTA YR huntin
+HUGZ
+BOTH SAEM pe AN 0, O RLY?
+YA RLY
+  I HAS A total ITZ A NUMBR
+  I HAS A best ITZ A NUMBR
+  IM IN YR gatherin UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    I HAS A c ITZ A NUMBR
+    I HAS A b ITZ A NUMBR
+    TXT MAH BFF k AN STUFF
+      c R UR cnt
+      b R UR big
+    TTYL
+    total R SUM OF total AN c
+    BIGGER b AN best, O RLY?
+    YA RLY
+      best R b
+    OIC
+  IM OUTTA YR gatherin
+  VISIBLE "FOUND :{total} PRIMEZ"
+  VISIBLE "LAST WUN WUZ :{best}"
+  BOTH SAEM total AN 25, O RLY?
+  YA RLY
+    VISIBLE "DATS RITE"
+  NO WAI
+    VISIBLE "SOMETHING BORKED"
+  OIC
+OIC
+KTHXBYE

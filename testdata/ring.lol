@@ -1,0 +1,19 @@
+BTW §VI.A ring exchange, race-free form: every PE fills its own block and
+BTW pulls its ring successor's block into a second symmetric array.
+HAI 1.2
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ
+WE HAS A array ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32
+WE HAS A recv ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32
+I HAS A next_pe ITZ A NUMBR AN ITZ SUM OF pe AN 1
+next_pe R MOD OF next_pe AN n_pes
+IM IN YR fill UPPIN YR i TIL BOTH SAEM i AN 32
+  array'Z i R SUM OF PRODUKT OF pe AN 100 AN i
+IM OUTTA YR fill
+HUGZ
+TXT MAH BFF next_pe, MAH recv R UR array
+HUGZ
+I HAS A lo ITZ A NUMBR AN ITZ recv'Z 0
+I HAS A hi ITZ A NUMBR AN ITZ recv'Z 31
+VISIBLE "PE :{pe} HAZ :{lo} THRU :{hi}"
+KTHXBYE

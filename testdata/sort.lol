@@ -1,0 +1,28 @@
+BTW Odd-even transposition sort across PEs. Every PE holds one value,
+BTW (7*(ME+3)) mod 10; after MAH FRENZ compare-exchange phases the values
+BTW are globally sorted. The left PE of each active pair does both sides
+BTW of the exchange, so no two PEs ever write the same cell in a phase.
+HAI 1.2
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ
+WE HAS A val ITZ SRSLY A NUMBR
+val R MOD OF PRODUKT OF 7 AN SUM OF pe AN 3 AN 10
+HUGZ
+IM IN YR phase UPPIN YR p TIL BOTH SAEM p AN n_pes
+  I HAS A active ITZ A NUMBR
+  active R MOD OF SUM OF pe AN p AN 2
+  I HAS A partner ITZ A NUMBR AN ITZ SUM OF pe AN 1
+  BOTH OF BOTH SAEM active AN 0 AN SMALLR partner AN n_pes, O RLY?
+  YA RLY
+    I HAS A thar ITZ A NUMBR
+    TXT MAH BFF partner, thar R UR val
+    BIGGER val AN thar, O RLY?
+    YA RLY
+      TXT MAH BFF partner, UR val R MAH val
+      val R thar
+    OIC
+  OIC
+  HUGZ
+IM OUTTA YR phase
+VISIBLE "PE :{pe} HAS :{val}"
+KTHXBYE

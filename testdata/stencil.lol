@@ -1,0 +1,54 @@
+BTW 1D heat diffusion with halo exchange built from the paper's
+BTW primitives: 8 cells per PE, 20 Jacobi steps of
+BTW u[i] += 0.5 * (left - 2*u[i] + right), with a constant hot ghost cell
+BTW of 100.0 at PE 0's left edge and a cold 0.0 ghost past the last PE.
+HAI 1.2
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A last_pe ITZ A NUMBR AN ITZ DIFF OF MAH FRENZ AN 1
+WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 8
+I HAS A new ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 8
+I HAS A lhalo ITZ SRSLY A NUMBAR
+I HAS A rhalo ITZ SRSLY A NUMBAR
+I HAS A left_pe ITZ A NUMBR AN ITZ DIFF OF pe AN 1
+I HAS A right_pe ITZ A NUMBR AN ITZ SUM OF pe AN 1
+HUGZ
+IM IN YR steppin UPPIN YR s TIL BOTH SAEM s AN 20
+  BOTH SAEM pe AN 0, O RLY?
+  YA RLY
+    lhalo R 100.0
+  NO WAI
+    TXT MAH BFF left_pe, lhalo R UR u'Z 7
+  OIC
+  BOTH SAEM pe AN last_pe, O RLY?
+  YA RLY
+    rhalo R 0.0
+  NO WAI
+    TXT MAH BFF right_pe, rhalo R UR u'Z 0
+  OIC
+  IM IN YR sweepin UPPIN YR i TIL BOTH SAEM i AN 8
+    I HAS A l ITZ SRSLY A NUMBAR
+    I HAS A r ITZ SRSLY A NUMBAR
+    BOTH SAEM i AN 0, O RLY?
+    YA RLY
+      l R lhalo
+    NO WAI
+      l R u'Z DIFF OF i AN 1
+    OIC
+    BOTH SAEM i AN 7, O RLY?
+    YA RLY
+      r R rhalo
+    NO WAI
+      r R u'Z SUM OF i AN 1
+    OIC
+    new'Z i R SUM OF u'Z i AN PRODUKT OF 0.5 AN SUM OF DIFF OF l AN PRODUKT OF 2.0 AN u'Z i AN r
+  IM OUTTA YR sweepin
+  HUGZ
+  IM IN YR copyin UPPIN YR i TIL BOTH SAEM i AN 8
+    u'Z i R new'Z i
+  IM OUTTA YR copyin
+  HUGZ
+IM OUTTA YR steppin
+I HAS A lo ITZ SRSLY A NUMBAR AN ITZ u'Z 0
+I HAS A hi ITZ SRSLY A NUMBAR AN ITZ u'Z 7
+VISIBLE "PE :{pe} EDGE TEMPZ :{lo} :{hi}"
+KTHXBYE

@@ -1,0 +1,19 @@
+BTW §V lock fragment: trylock first (IM MESIN WIF sets IT), fall back to
+BTW the blocking acquire, bump the shared tally, release. Each PE reports
+BTW its own completion, so grouped output is deterministic under races.
+HAI 1.2
+WE HAS A tally ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A pe ITZ A NUMBR AN ITZ ME
+HUGZ
+IM MESIN WIF tally, O RLY?
+YA RLY
+  TXT MAH BFF 0, UR tally R SUM OF UR tally AN 1
+  DUN MESIN WIF tally
+NO WAI
+  IM SRSLY MESIN WIF tally
+  TXT MAH BFF 0, UR tally R SUM OF UR tally AN 1
+  DUN MESIN WIF tally
+OIC
+HUGZ
+VISIBLE "PE :{pe} DUN MESIN"
+KTHXBYE
