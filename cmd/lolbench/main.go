@@ -13,6 +13,7 @@
 //	lolbench locks                         T2 micro: lock contention
 //	lolbench remote                        T2 micro: put/get cost vs distance
 //	lolbench toolchain                     E3: lcc -> Go over testdata/
+//	lolbench serve [-clients 8] [-reqs 50] lolserv load test: req/s, cache, p50/p99
 //	lolbench all                           everything above
 package main
 
@@ -29,6 +30,9 @@ func main() {
 	trials := flag.Int("trials", 20, "trials for the Figure 2 determinism experiment")
 	file := flag.String("f", "testdata/nbody.lol", "program for the Figure 1 layout")
 	dir := flag.String("testdata", "testdata", "directory of .lol programs")
+	clients := flag.Int("clients", 8, "concurrent clients for the serve experiment")
+	reqs := flag.Int("reqs", 50, "requests per client for the serve experiment")
+	workers := flag.Int("workers", 4, "server worker slots for the serve experiment")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
 		usage()
@@ -74,6 +78,8 @@ func main() {
 		err = experiments.NocHeatmap(w, 16, 8, 2)
 	case "toolchain":
 		err = experiments.Toolchain(w, *dir)
+	case "serve":
+		err = experiments.Serve(w, *clients, *reqs, *workers)
 	case "all":
 		err = runAll(w, *dir, *np, *trials)
 	default:
@@ -109,6 +115,7 @@ func runAll(w *os.File, dir string, np, trials int) error {
 		func() error { return sep(w, experiments.RemoteAccess(w)) },
 		func() error { return sep(w, experiments.NocHeatmap(w, 16, 8, 2)) },
 		func() error { return sep(w, experiments.Toolchain(w, dir)) },
+		func() error { return sep(w, experiments.Serve(w, 8, 50, 4)) },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {
@@ -137,6 +144,7 @@ experiments:
   scaling                       E2: weak scaling, Parallella and XC40 models
   barriers locks remote noc     T2 microbenchmarks + NoC traffic heatmap
   toolchain                     E3: lcc -> Go over testdata/
+  serve                         lolserv load test: req/s, cache hit rate, p50/p99
   all                           run everything
 
 flags:

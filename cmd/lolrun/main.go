@@ -3,15 +3,21 @@
 //
 //	lolrun -np 16 -machine parallella testdata/nbody.lol
 //	lolrun -np 1024 -machine xc40 -backend interp testdata/fig2.lol
-//	lolrun -np 4 -backend vm testdata/fig2.lol
+//	lolrun -np 4 -backend vm -timeout 5s -max-steps 1000000 testdata/fig2.lol
 //
 // The -backend flag selects the execution engine (any registered
 // backend.Backend: interp, vm, or compile); -machine selects the latency
 // model the PGAS runtime charges for one-sided operations; -stats prints
 // the operation counters and per-PE simulated time after the run.
+// -timeout bounds the run's wall clock and -max-steps bounds each PE's
+// step count, the same budgets cmd/lolserv enforces on every job.
+//
+// Exit codes: 0 on success, 1 when the program fails to parse, dies at
+// runtime, or exceeds a budget; 2 on usage errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,44 +32,72 @@ import (
 )
 
 func main() {
-	np := flag.Int("np", 1, "number of processing elements")
-	machineName := flag.String("machine", "smp", "cost model: "+strings.Join(machine.Names(), ", "))
-	backendName := flag.String("backend", "compile", "execution backend: "+strings.Join(backend.Names(), ", "))
-	seed := flag.Int64("seed", 1, "base RNG seed (PE i uses seed+i)")
-	group := flag.Bool("group", false, "buffer output per PE and emit it grouped in rank order")
-	stats := flag.Bool("stats", false, "print runtime statistics after the run")
-	traceFlag := flag.Bool("trace", false, "record runtime events and draw the data movement per barrier phase")
-	dissem := flag.Bool("dissemination-barrier", false, "use the dissemination barrier instead of the central one")
-	flag.Usage = func() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main with an exit code, so every path's code is auditable (and
+// testable): nothing below calls os.Exit.
+func run(args []string) int {
+	fs := flag.NewFlagSet("lolrun", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	np := fs.Int("np", 1, "number of processing elements")
+	machineName := fs.String("machine", "smp", "cost model: "+strings.Join(machine.Names(), ", "))
+	backendName := fs.String("backend", "compile", "execution backend: "+strings.Join(backend.Names(), ", "))
+	seed := fs.Int64("seed", 1, "base RNG seed (PE i uses seed+i)")
+	group := fs.Bool("group", false, "buffer output per PE and emit it grouped in rank order")
+	stats := fs.Bool("stats", false, "print runtime statistics after the run")
+	traceFlag := fs.Bool("trace", false, "record runtime events and draw the data movement per barrier phase")
+	dissem := fs.Bool("dissemination-barrier", false, "use the dissemination barrier instead of the central one")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+	maxSteps := fs.Int64("max-steps", 0, "per-PE step budget (0 = unlimited)")
+	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lolrun [flags] code.lol\n")
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 
 	model, err := machine.ByName(*machineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	eng, err := backend.ByName(*backendName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lolrun: %v\n", err)
-		os.Exit(2)
+		return 2
+	}
+	if *maxSteps < 0 {
+		fmt.Fprintln(os.Stderr, "lolrun: -max-steps must be non-negative")
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "lolrun: -timeout must be non-negative")
+		return 2
 	}
 	alg := shmem.BarrierCentral
 	if *dissem {
 		alg = shmem.BarrierDissemination
 	}
 
-	prog, err := core.ParseFile(flag.Arg(0))
+	prog, err := core.ParseFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var rec trace.Recorder
 	cfg := interp.Config{
 		NP:          *np,
@@ -74,6 +108,8 @@ func main() {
 		Stderr:      os.Stderr,
 		Stdin:       os.Stdin,
 		GroupOutput: *group,
+		Context:     ctx,
+		StepBudget:  *maxSteps,
 	}
 	if *traceFlag {
 		cfg.Tracer = rec.Record
@@ -81,7 +117,7 @@ func main() {
 	res, err := eng.Run(prog.Info, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *traceFlag {
 		symbols := make([]string, len(prog.Info.Shared))
@@ -108,4 +144,5 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sim time:    %.3f us (slowest PE, %s model)\n", maxNanos/1000, model.Name())
 	}
+	return 0
 }

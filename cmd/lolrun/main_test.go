@@ -1,6 +1,8 @@
 package main_test
 
 import (
+	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -61,6 +63,70 @@ func TestLolrunInterpBackend(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "PE 0 DUN MESIN") {
 		t.Errorf("unexpected output %q", stdout)
+	}
+}
+
+// exitCode extracts the process exit code from a runCLI error; -1 means
+// the command did not run or was killed.
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestLolrunNonzeroExitOnRuntimeError asserts the launcher's exit-code
+// contract: a program that dies mid-run (after producing output) must
+// exit nonzero, never 0.
+func TestLolrunNonzeroExitOnRuntimeError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dies.lol")
+	src := "HAI 1.2\nVISIBLE \"before the crash\"\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, err := runCLI(t, "./cmd/lolrun", path)
+	if err == nil {
+		t.Fatalf("program that dies mid-run exited 0\nstdout: %s", stdout)
+	}
+	if code := exitCode(err); code <= 0 {
+		t.Errorf("exit code = %d, want > 0", code)
+	}
+	if !strings.Contains(stderr, "division by zero") {
+		t.Errorf("stderr missing the runtime error:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "before the crash") {
+		t.Errorf("output before the crash was dropped:\n%s", stdout)
+	}
+}
+
+// TestLolrunMaxStepsKillsInfiniteLoop checks the -max-steps budget kills
+// a spin loop with a nonzero exit on every backend.
+func TestLolrunMaxStepsKillsInfiniteLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spin.lol")
+	src := "HAI 1.2\nI HAS A x ITZ 0\nIM IN YR forever\n  x R SUM OF x AN 1\nIM OUTTA YR forever\nKTHXBYE\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"interp", "vm", "compile"} {
+		_, stderr, err := runCLI(t, "./cmd/lolrun", "-backend", backend, "-max-steps", "50000", path)
+		if err == nil {
+			t.Fatalf("%s: infinite loop exited 0 under -max-steps", backend)
+		}
+		if code := exitCode(err); code <= 0 {
+			t.Errorf("%s: exit code = %d, want > 0", backend, code)
+		}
+		if !strings.Contains(stderr, "step budget exceeded") {
+			t.Errorf("%s: stderr missing budget error:\n%s", backend, stderr)
+		}
 	}
 }
 

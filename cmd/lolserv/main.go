@@ -1,0 +1,95 @@
+// Command lolserv is the parallel-LOLCODE execution service: an HTTP
+// daemon over internal/server that accepts programs as JSON jobs, serves
+// compiled artifacts from an LRU program cache, and runs them on a
+// bounded worker pool under enforced wall-clock and step budgets.
+//
+//	lolserv -addr :8404 -workers 8 -cache 256
+//	curl -s localhost:8404/v1/run -d '{"src":"HAI 1.2\nVISIBLE ME\nKTHXBYE","np":4}'
+//
+// See internal/server/README.md for the API and budget semantics, and
+// `lolbench serve` for the load-generator experiment against this server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8404", "listen address")
+	workers := flag.Int("workers", 4, "concurrently executing jobs")
+	queue := flag.Int("queue", 64, "jobs allowed to wait for a worker")
+	cacheSize := flag.Int("cache", 128, "compiled programs kept in the LRU cache")
+	maxNP := flag.Int("max-np", 64, "PE count limit per job")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-job wall-clock budget")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "largest wall-clock budget a job may request")
+	maxSteps := flag.Int64("max-steps", 500_000_000, "largest per-PE step budget a job may request")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lolserv [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		MaxNP:          *maxNP,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxStepBudget:  *maxSteps,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("lolserv: listening on %s (workers=%d queue=%d cache=%d max-np=%d timeout=%s)",
+		*addr, *workers, *queue, *cacheSize, *maxNP, *timeout)
+
+	select {
+	case err := <-errCh:
+		log.Printf("lolserv: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight jobs finish up to the
+	// job deadline; anything still running is cancelled by its context.
+	log.Printf("lolserv: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("lolserv: shutdown: %v", err)
+		return 1
+	}
+	st := srv.Stats()
+	log.Printf("lolserv: served %d jobs (%d ok, %d failed, %d rejected), cache %d/%d hit rate %.1f%%",
+		st.JobsRun, st.JobsOK, st.JobsFailed, st.JobsRejected,
+		st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, 100*st.Cache.HitRate())
+	return 0
+}

@@ -16,15 +16,22 @@
 //     variable its frame slot and lexical depth, shared by all backends;
 //   - internal/backend: the Backend interface, engine registry, and the
 //     SPMD execution plumbing (Config, Result, per-PE output) every engine
-//     shares;
+//     shares — including the cancellation/budget contract (Config.Context,
+//     Config.StepBudget, Meter) that bounds every run's wall clock and
+//     per-PE step count;
 //   - internal/interp, vm, compile: the three execution engines spanning
 //     the classic design space — a tree-walking interpreter, a
 //     slot-addressed bytecode VM, and a closure compiler (select one with
 //     `lolrun -backend=interp|vm|compile`);
 //   - internal/gogen: the LOLCODE-to-Go source emitter (the paper's lcc
 //     emitted C + OpenSHMEM);
-//   - cmd/lcc, lolrun, lolfmt, lolbench: the toolchain, the SPMD launcher
-//     (coprsh/aprun analog), a formatter, and the experiment harness.
+//   - internal/server: the concurrent job-execution service — an LRU
+//     compiled-program cache (parse+sema+codegen once per unique program),
+//     a bounded worker pool with a per-program fairness queue, and
+//     enforced per-job deadlines and step budgets;
+//   - cmd/lcc, lolrun, lolfmt, lolbench, lolserv: the toolchain, the SPMD
+//     launcher (coprsh/aprun analog), a formatter, the experiment harness,
+//     and the HTTP execution daemon (`lolbench serve` load-tests it).
 //
 // bench_test.go in this directory carries one benchmark group per paper
 // artifact; see DESIGN.md for the experiment index and EXPERIMENTS.md for

@@ -14,6 +14,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -112,10 +113,29 @@ type PEIO struct {
 // RunSPMD drives one engine body per PE over an existing world, wiring the
 // grouped-output and shared-stdin plumbing identically for every engine,
 // and collects the Result. body runs concurrently on every PE.
+//
+// When cfg.Context is set, a watcher fails the world the moment the
+// context is cancelled, so PEs blocked in HUGZ, locks, or point-to-point
+// waits are released promptly even if no PE is currently running engine
+// steps; the engines' own meters catch cancellation on compute-bound
+// paths. The returned error then satisfies errors.Is against the
+// context's error.
 func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) error) (*Result, error) {
-	out := NewOutput(cfg.Stdout, cfg.GroupOutput, cfg.NP)
-	errw := NewOutput(cfg.Stderr, cfg.GroupOutput, cfg.NP)
+	out := NewOutput(cfg.Stdout, cfg.GroupOutput, cfg.NP, cfg.MaxOutput)
+	errw := NewOutput(cfg.Stderr, cfg.GroupOutput, cfg.NP, cfg.MaxOutput)
 	stdin := NewSharedReader(cfg.Stdin)
+
+	if ctx := cfg.Context; ctx != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				world.Fail(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 
 	res := &Result{SimNanos: make([]float64, cfg.NP)}
 	err := world.Run(func(pe *shmem.PE) error {
@@ -128,9 +148,25 @@ func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) er
 	})
 	out.Flush()
 	errw.Flush()
+	truncated := out.Truncated() || errw.Truncated()
 	if err != nil {
-		return nil, err
+		// Blocked PEs report the generic world failure; when the teardown
+		// was actually caused by the context (the watcher's Fail), surface
+		// the cancel cause so callers can classify with errors.Is. A
+		// genuine PE error that merely races the deadline keeps its own
+		// identity: the world's recorded cause is the PE error, not the
+		// context's.
+		if ctx := cfg.Context; ctx != nil {
+			if cerr := ctx.Err(); cerr != nil && !errors.Is(err, cerr) && errors.Is(world.Err(), cerr) {
+				err = fmt.Errorf("%w: %w", cerr, err)
+			}
+		}
+		// The Result still carries output metadata (the launcher shows the
+		// partial output it captured); callers must treat a run with a
+		// non-nil error as failed regardless.
+		return &Result{OutputTruncated: truncated}, err
 	}
 	res.Stats = world.Stats()
+	res.OutputTruncated = truncated
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -32,12 +33,27 @@ type Config struct {
 	// barriers, lock traffic); see internal/trace for a recorder and the
 	// Figure 2 data-movement renderer.
 	Tracer shmem.Tracer
+	// Context, when non-nil, bounds the run: when it is cancelled (deadline,
+	// client disconnect) every PE is torn down cooperatively, including PEs
+	// blocked in HUGZ, locks, or point-to-point waits. The run's error then
+	// satisfies errors.Is against the context's error.
+	Context context.Context
+	// StepBudget caps the number of engine steps each PE may execute;
+	// 0 means unlimited. What one step is depends on the engine (see the
+	// Meter docs); exceeding the budget aborts the run with ErrStepBudget.
+	StepBudget int64
+	// MaxOutput caps the total bytes of VISIBLE (and, separately,
+	// INVISIBLE) output retained or forwarded; 0 means unlimited. Overflow
+	// is dropped, not fatal, and reported via Result.OutputTruncated.
+	MaxOutput int
 }
 
 // Result reports what a run did.
 type Result struct {
 	Stats    shmem.StatsSnapshot
 	SimNanos []float64 // per-PE simulated time under the cost model
+	// OutputTruncated reports that Config.MaxOutput dropped output bytes.
+	OutputTruncated bool
 }
 
 // RuntimeError is an execution error with its source position. All engines

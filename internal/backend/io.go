@@ -10,19 +10,36 @@ import (
 // Output serializes VISIBLE writes from concurrent PEs onto one io.Writer,
 // optionally buffering per PE and emitting grouped in PE order at Flush
 // (deterministic multi-PE output for golden tests). Every execution
-// backend shares it.
+// backend shares it. An optional byte limit bounds how much output is
+// retained or forwarded — the memory-side resource budget a hosted job
+// runs under (internal/server) — with overflow discarded and reported via
+// Truncated. In grouped mode the limit is split evenly across PEs so the
+// truncation point depends only on each PE's own (deterministic) output,
+// never on cross-PE scheduling; in live mode it is a global cap on an
+// already order-nondeterministic stream.
 type Output struct {
-	mu      sync.Mutex
-	w       io.Writer
-	grouped bool
-	bufs    []strings.Builder
+	mu        sync.Mutex
+	w         io.Writer
+	grouped   bool
+	bufs      []strings.Builder
+	limit     int // per-PE when grouped, global when live; 0 = unlimited
+	written   int // live mode only
+	truncated bool
 }
 
 // NewOutput wraps w. When grouped is true, writes are buffered per PE.
-func NewOutput(w io.Writer, grouped bool, np int) *Output {
-	o := &Output{w: w, grouped: grouped}
+// limit caps the total bytes accepted across all PEs; 0 means unlimited.
+func NewOutput(w io.Writer, grouped bool, np, limit int) *Output {
+	o := &Output{w: w, grouped: grouped, limit: limit}
 	if grouped {
 		o.bufs = make([]strings.Builder, np)
+		if limit > 0 {
+			// Deterministic truncation: each PE owns an equal share.
+			o.limit = limit / np
+			if o.limit < 1 {
+				o.limit = 1
+			}
+		}
 	}
 	return o
 }
@@ -36,18 +53,44 @@ type PEWriter struct {
 // ForPE returns the writer PE rank pe must use.
 func (o *Output) ForPE(pe int) *PEWriter { return &PEWriter{o: o, pe: pe} }
 
-// WriteString emits s atomically with respect to other PEs.
+// WriteString emits s atomically with respect to other PEs. Once the
+// output limit is reached, the tail is dropped and Truncated reports it.
 func (p *PEWriter) WriteString(s string) {
 	o := p.o
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.limit > 0 {
+		used := o.written
+		if o.grouped {
+			used = o.bufs[p.pe].Len()
+		}
+		room := o.limit - used
+		if room <= 0 {
+			if len(s) > 0 {
+				o.truncated = true
+			}
+			return
+		}
+		if len(s) > room {
+			s = s[:room]
+			o.truncated = true
+		}
+	}
 	if o.grouped {
 		o.bufs[p.pe].WriteString(s)
 		return
 	}
+	o.written += len(s)
 	if o.w != nil {
 		io.WriteString(o.w, s)
 	}
+}
+
+// Truncated reports whether the byte limit dropped any output.
+func (o *Output) Truncated() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.truncated
 }
 
 // Flush emits grouped buffers in PE order. A no-op for live output.

@@ -1,0 +1,99 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrStepBudget reports that a PE ran past Config.StepBudget. Engines wrap
+// it in a RuntimeError carrying the position of the statement that crossed
+// the line, so errors.Is(err, ErrStepBudget) identifies budget kills from
+// any backend.
+var ErrStepBudget = errors.New("step budget exceeded")
+
+// meterInterval is how many steps a PE may take between deadline/budget
+// checks. Amortizing the check keeps the engines' dispatch loops hot: the
+// per-step cost is one decrement and one predictable branch; the context
+// poll and budget arithmetic happen at most once per interval (or sooner
+// when the remaining budget is smaller than the interval).
+const meterInterval = 1024
+
+// unmetered is the credit grant used when neither a context nor a budget
+// is configured: large enough that syncSlow is never reached in practice.
+const unmetered = int64(1) << 62
+
+// Meter enforces Config.Context and Config.StepBudget for one PE. Each
+// engine calls Step once per unit of work — the interpreter per statement,
+// the VM per instruction, the closure compiler per loop back-edge and
+// barrier — so the budget is engine-relative but the enforcement machinery
+// is shared. The zero Meter is not valid; build one with NewMeter.
+type Meter struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	limit  int64 // steps allowed in total; 0 = unlimited
+	used   int64 // steps fully accounted at the last sync
+	grant  int64 // size of the credit issued at the last sync
+	credit int64 // steps remaining before the next sync
+}
+
+// NewMeter builds the per-PE meter for cfg.
+func NewMeter(cfg *Config) Meter {
+	m := Meter{limit: cfg.StepBudget}
+	if cfg.Context != nil {
+		m.ctx = cfg.Context
+		m.done = cfg.Context.Done()
+	}
+	m.grant = m.nextGrant()
+	m.credit = m.grant
+	return m
+}
+
+func (m *Meter) nextGrant() int64 {
+	if m.limit <= 0 && m.done == nil {
+		return unmetered
+	}
+	g := int64(meterInterval)
+	if m.limit > 0 {
+		// +1 so the grant covers the first over-budget *attempt*: Step runs
+		// before the step executes, so the budget kill fires on attempting
+		// step limit+1, after exactly limit steps have run.
+		if rem := m.limit - m.used + 1; rem < g {
+			g = rem
+		}
+	}
+	return g
+}
+
+// Step accounts one engine step. The fast path is branch-plus-decrement;
+// it is small enough for the compiler to inline into dispatch loops.
+func (m *Meter) Step() error {
+	if m.credit--; m.credit > 0 {
+		return nil
+	}
+	return m.syncSlow()
+}
+
+// syncSlow settles the consumed credit, checks the context and the budget,
+// and issues the next credit.
+func (m *Meter) syncSlow() error {
+	m.used += m.grant
+	if m.done != nil {
+		select {
+		case <-m.done:
+			return m.ctx.Err()
+		default:
+		}
+	}
+	// m.used counts the step that triggered this sync, which has not
+	// executed; strictly-greater means exactly limit steps are allowed.
+	if m.limit > 0 && m.used > m.limit {
+		return fmt.Errorf("%w: PE ran %d steps (limit %d)", ErrStepBudget, m.used-1, m.limit)
+	}
+	m.grant = m.nextGrant()
+	m.credit = m.grant
+	return nil
+}
+
+// Used reports the steps accounted so far (within one interval of exact).
+func (m *Meter) Used() int64 { return m.used + (m.grant - m.credit) }

@@ -1,0 +1,147 @@
+package backend_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+)
+
+// infiniteLoop spins forever with no barrier — only the step budget or the
+// context deadline can stop it.
+const infiniteLoop = `HAI 1.2
+I HAS A x ITZ 0
+IM IN YR forever
+  x R SUM OF x AN 1
+IM OUTTA YR forever
+KTHXBYE`
+
+// TestStepBudgetKillsEveryBackend runs an infinite loop with a small step
+// budget through every engine and expects the run to die with
+// ErrStepBudget instead of hanging.
+func TestStepBudgetKillsEveryBackend(t *testing.T) {
+	prog, err := core.Parse("forever.lol", infiniteLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range backend.All() {
+		eng := eng
+		t.Run(eng.Name(), func(t *testing.T) {
+			t.Parallel()
+			_, err := eng.Run(prog.Info, backend.Config{NP: 2, StepBudget: 10_000})
+			if err == nil {
+				t.Fatal("infinite loop completed under a step budget")
+			}
+			if !errors.Is(err, backend.ErrStepBudget) {
+				t.Fatalf("error = %v, want ErrStepBudget", err)
+			}
+		})
+	}
+}
+
+// TestContextDeadlineKillsEveryBackend bounds the same infinite loop with
+// a wall-clock deadline and expects errors.Is against the context error.
+func TestContextDeadlineKillsEveryBackend(t *testing.T) {
+	prog, err := core.Parse("forever.lol", infiniteLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range backend.All() {
+		eng := eng
+		t.Run(eng.Name(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			_, err := eng.Run(prog.Info, backend.Config{NP: 2, Context: ctx})
+			if err == nil {
+				t.Fatal("infinite loop completed under a deadline")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("error = %v, want DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+// TestCancelReleasesBarrier cancels a run where one PE spins forever while
+// the others block in HUGZ: cancellation must release the blocked PEs
+// rather than deadlocking the barrier.
+func TestCancelReleasesBarrier(t *testing.T) {
+	const src = `HAI 1.2
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  I HAS A x ITZ 0
+  IM IN YR forever
+    x R SUM OF x AN 1
+  IM OUTTA YR forever
+OIC
+HUGZ
+KTHXBYE`
+	prog, err := core.Parse("stuck.lol", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range backend.All() {
+		eng := eng
+		t.Run(eng.Name(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				cancel()
+			}()
+			done := make(chan error, 1)
+			go func() {
+				_, err := eng.Run(prog.Info, backend.Config{NP: 4, Context: ctx})
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("error = %v, want Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("cancelled run did not release PEs blocked in HUGZ")
+			}
+		})
+	}
+}
+
+// TestMeterExactBudgetBoundary pins the budget's fencepost: a budget of N
+// permits exactly N steps; the N+1th attempt is the one that dies.
+func TestMeterExactBudgetBoundary(t *testing.T) {
+	for _, limit := range []int64{1, 2, 1023, 1024, 1025, 5000} {
+		m := backend.NewMeter(&backend.Config{StepBudget: limit})
+		for i := int64(0); i < limit; i++ {
+			if err := m.Step(); err != nil {
+				t.Fatalf("limit %d: step %d failed early: %v", limit, i+1, err)
+			}
+		}
+		if err := m.Step(); !errors.Is(err, backend.ErrStepBudget) {
+			t.Errorf("limit %d: step %d error = %v, want ErrStepBudget", limit, limit+1, err)
+		}
+	}
+}
+
+// TestStepBudgetRoomToFinish checks that a budget large enough for the
+// program is invisible: the run completes with identical output.
+func TestStepBudgetRoomToFinish(t *testing.T) {
+	prog, err := core.Parse("ok.lol", "HAI 1.2\nVISIBLE SMOOSH \"PE \" AN ME MKAY\nKTHXBYE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range backend.All() {
+		var out strings.Builder
+		cfg := backend.Config{NP: 2, Stdout: &out, GroupOutput: true, StepBudget: 1 << 20, Context: context.Background()}
+		if _, err := eng.Run(prog.Info, cfg); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if out.String() != "PE 0\nPE 1\n" {
+			t.Errorf("%s output = %q", eng.Name(), out.String())
+		}
+	}
+}

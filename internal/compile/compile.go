@@ -83,6 +83,12 @@ type env struct {
 	retval    value.Value
 	callDepth int
 
+	// meter enforces the run's deadline and step budget. Straight-line
+	// closure code runs unmetered (it terminates by construction); one
+	// compiled step is one loop back-edge or one barrier, the program
+	// points where execution time and blocking can become unbounded.
+	meter backend.Meter
+
 	out   *interp.PEWriter
 	errw  *interp.PEWriter
 	stdin *interp.SharedReader
@@ -172,6 +178,7 @@ func (p *Program) RunWorld(cfg interp.Config, world *shmem.World) (*interp.Resul
 			pe:    pe,
 			frame: make([]value.Value, len(p.info.Main.Order)),
 			scope: p.info.Main,
+			meter: backend.NewMeter(&cfg),
 			out:   io.Out,
 			errw:  io.Err,
 			stdin: io.Stdin,
@@ -358,6 +365,9 @@ func (c *compiler) stmt(s ast.Stmt) (stmtFn, error) {
 	case *ast.Barrier:
 		pos := n.Position
 		return func(e *env) (ctrl, error) {
+			if err := e.meter.Step(); err != nil {
+				return ctrlNone, rerr(pos, err)
+			}
 			return ctrlNone, rerr(pos, e.pe.Barrier())
 		}, nil
 
@@ -679,6 +689,9 @@ func (c *compiler) loop(n *ast.Loop) (stmtFn, error) {
 			}
 		}
 		for {
+			if err := e.meter.Step(); err != nil {
+				return ctrlNone, rerr(pos, err)
+			}
 			if cond != nil {
 				cv, err := cond(e)
 				if err != nil {

@@ -969,6 +969,9 @@ func (c *compiler) specializedLoop(n *ast.Loop, body []stmtFn) (stmtFn, bool) {
 			defer func() { e.frame[slot] = saved }()
 		}
 		for {
+			if err := e.meter.Step(); err != nil {
+				return ctrlNone, rerr(pos, err)
+			}
 			stop, err := cond(e)
 			if err != nil {
 				return ctrlNone, err

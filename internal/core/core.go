@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/compile"
@@ -26,14 +27,21 @@ import (
 )
 
 // Program is a parsed and semantically checked parallel-LOLCODE program.
+// The prepared form of each compiling backend is built once on first use
+// and cached; a Program is safe for concurrent Runs (internal/server runs
+// many jobs against one cached Program).
 type Program struct {
 	File   string
 	Source string
 	AST    *ast.Program
 	Info   *sema.Info
 
-	compiled *compile.Program // lazily built by the compile backend
-	bytecode *vm.Program      // lazily built by the vm backend
+	compileOnce sync.Once
+	compiled    *compile.Program // lazily built by the compile backend
+	compiledErr error
+	vmOnce      sync.Once
+	bytecode    *vm.Program // lazily built by the vm backend
+	bytecodeErr error
 }
 
 // Parse parses and checks LOLCODE source. file is used in diagnostics.
@@ -89,6 +97,23 @@ func (b Backend) String() string {
 // baseline ordering for the E1 comparison).
 func Backends() []Backend { return []Backend{BackendInterp, BackendVM, BackendCompile} }
 
+// ParseBackend resolves a backend by name, matching each Backend's own
+// String() so the accepted set cannot drift from Backends(); the empty
+// string selects the compile backend, the production default.
+func ParseBackend(name string) (Backend, error) {
+	if name == "" {
+		return BackendCompile, nil
+	}
+	names := make([]string, 0, len(Backends()))
+	for _, b := range Backends() {
+		if b.String() == name {
+			return b, nil
+		}
+		names = append(names, b.String())
+	}
+	return BackendCompile, fmt.Errorf("core: unknown backend %q (want one of %v)", name, names)
+}
+
 // RunConfig is the execution configuration shared by every backend; it is
 // interp.Config with a backend selector.
 type RunConfig struct {
@@ -119,27 +144,31 @@ func (p *Program) Run(cfg RunConfig) (*interp.Result, error) {
 }
 
 // Compiled returns the closure-compiled form, building it on first use.
+// Safe for concurrent callers: compilation happens exactly once.
 func (p *Program) Compiled() (*compile.Program, error) {
-	if p.compiled == nil {
+	p.compileOnce.Do(func() {
 		cp, err := compile.Compile(p.Info)
 		if err != nil {
-			return nil, fmt.Errorf("compile %s: %w", p.File, err)
+			p.compiledErr = fmt.Errorf("compile %s: %w", p.File, err)
+			return
 		}
 		p.compiled = cp
-	}
-	return p.compiled, nil
+	})
+	return p.compiled, p.compiledErr
 }
 
 // Bytecode returns the bytecode-compiled form, building it on first use.
+// Safe for concurrent callers: compilation happens exactly once.
 func (p *Program) Bytecode() (*vm.Program, error) {
-	if p.bytecode == nil {
+	p.vmOnce.Do(func() {
 		vp, err := vm.Compile(p.Info)
 		if err != nil {
-			return nil, fmt.Errorf("vm-compile %s: %w", p.File, err)
+			p.bytecodeErr = fmt.Errorf("vm-compile %s: %w", p.File, err)
+			return
 		}
 		p.bytecode = vp
-	}
-	return p.bytecode, nil
+	})
+	return p.bytecode, p.bytecodeErr
 }
 
 // NewWorld builds a shmem world sized for this program, for callers that

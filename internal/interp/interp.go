@@ -78,6 +78,7 @@ func RunWorld(info *sema.Info, cfg Config, world *shmem.World) (*Result, error) 
 			out:   io.Out,
 			errw:  io.Err,
 			stdin: io.Stdin,
+			meter: backend.NewMeter(&cfg),
 		}
 		ev.frame = newFrame(len(info.Main.Order))
 		return ev.execBlock(info.Prog.Body)
@@ -119,6 +120,11 @@ type evaluator struct {
 
 	// retval carries the FOUND YR value while ctrlReturn unwinds.
 	retval value.Value
+
+	// meter enforces the run's deadline and step budget; one interpreter
+	// step is one executed statement (plus one per loop iteration, so an
+	// empty-bodied loop still meters).
+	meter backend.Meter
 
 	callDepth int
 }
@@ -165,6 +171,9 @@ func (ev *evaluator) execStmts(ss []ast.Stmt) (ctrl, error) {
 }
 
 func (ev *evaluator) exec(s ast.Stmt) (ctrl, error) {
+	if err := ev.meter.Step(); err != nil {
+		return ctrlNone, rerr(s.Pos(), err)
+	}
 	switch n := s.(type) {
 	case *ast.Decl:
 		return ctrlNone, ev.execDecl(n)
@@ -410,7 +419,15 @@ func (ev *evaluator) execLoop(n *ast.Loop) (ctrl, error) {
 		}()
 	}
 
+	// Body statements meter themselves in exec; only an empty body needs a
+	// back-edge tick so a degenerate spin loop still hits the budget.
+	meterEdge := len(n.Body) == 0
 	for iter := 0; ; iter++ {
+		if meterEdge {
+			if err := ev.meter.Step(); err != nil {
+				return ctrlNone, rerr(n.Position, err)
+			}
+		}
 		if n.Cond != nil {
 			cv, err := ev.eval(n.Cond)
 			if err != nil {

@@ -17,7 +17,7 @@ type (
 
 // NewOutput wraps w. When grouped is true, writes are buffered per PE.
 func NewOutput(w io.Writer, grouped bool, np int) *Output {
-	return backend.NewOutput(w, grouped, np)
+	return backend.NewOutput(w, grouped, np, 0)
 }
 
 // NewSharedReader wraps r; nil reads as empty input.

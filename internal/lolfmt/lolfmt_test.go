@@ -1,12 +1,14 @@
 package lolfmt
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/ast"
 	"repro/internal/parser"
+	"repro/internal/progen"
 )
 
 // TestRoundTrip checks the formatter's core invariant on every testdata
@@ -41,6 +43,34 @@ func TestRoundTrip(t *testing.T) {
 			}
 			again := Format(p2)
 			if again != formatted {
+				t.Errorf("Format is not idempotent:\nfirst:\n%s\nsecond:\n%s", formatted, again)
+			}
+		})
+	}
+}
+
+// TestRoundTripGenerated extends the round-trip invariant beyond the
+// checked-in corpus: for a swath of progen-generated programs,
+// parse(Format(parse(src))) is structurally identical to parse(src) and
+// Format(Format(src)) is byte-identical to Format(src).
+func TestRoundTripGenerated(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := progen.New(seed).Program(15)
+			p1, err := parser.Parse("gen.lol", src)
+			if err != nil {
+				t.Fatalf("parse generated program: %v\n--- source ---\n%s", err, src)
+			}
+			formatted := Format(p1)
+			p2, err := parser.Parse("gen.lol.fmt", formatted)
+			if err != nil {
+				t.Fatalf("re-parse formatted source: %v\n--- formatted ---\n%s", err, formatted)
+			}
+			if d1, d2 := ast.Dump(p1), ast.Dump(p2); d1 != d2 {
+				t.Errorf("round trip changed structure:\noriginal:  %s\nformatted: %s\n--- formatted source ---\n%s", d1, d2, formatted)
+			}
+			if again := Format(p2); again != formatted {
 				t.Errorf("Format is not idempotent:\nfirst:\n%s\nsecond:\n%s", formatted, again)
 			}
 		})

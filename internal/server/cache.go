@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Key identifies a program in the cache: the SHA-256 of its exact source
+// bytes. No normalization is applied — two sources that differ only in
+// whitespace are distinct programs (and distinct cache entries).
+type Key [sha256.Size]byte
+
+// KeyOf hashes source text.
+func KeyOf(src string) Key { return sha256.Sum256([]byte(src)) }
+
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// cacheEntry holds one program's frontend result. The once gate gives
+// single-flight semantics: when many concurrent requests miss on the same
+// new program, exactly one pays for parse+sema (and, lazily via
+// core.Program, per-backend codegen); the rest block on the gate and share
+// the outcome. Failed programs are cached too, so a client hammering a
+// broken program pays the frontend once, not per request.
+type cacheEntry struct {
+	once sync.Once
+	prog *core.Program
+	err  error
+}
+
+// Cache is an LRU of compiled programs keyed by source hash. It bounds
+// memory under unbounded distinct programs while serving a hot working set
+// without recompilation; hit/miss counters are exposed for the /v1/stats
+// endpoint and the lolbench serve experiment.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used; values are *lruItem
+	items   map[Key]*list.Element
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+}
+
+type lruItem struct {
+	key   Key
+	entry *cacheEntry
+}
+
+// NewCache builds an LRU holding at most max programs (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// GetOrCompile returns the cached program for src under its precomputed
+// key, compiling it on first sight. hit reports whether the entry existed
+// before this call (a hit may still block briefly if the first compiler
+// is mid-flight).
+func (c *Cache) GetOrCompile(key Key, name, src string) (prog *core.Program, err error, hit bool) {
+	c.mu.Lock()
+	var e *cacheEntry
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e = el.Value.(*lruItem).entry
+		c.hits.Add(1)
+		hit = true
+	} else {
+		e = &cacheEntry{}
+		c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: e})
+		c.misses.Add(1)
+		for c.ll.Len() > c.max {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruItem).key)
+			c.evicted.Add(1)
+		}
+	}
+	c.mu.Unlock()
+
+	// Compile outside the cache lock; concurrent missers on the same key
+	// serialize here, everyone else proceeds.
+	e.once.Do(func() { e.prog, e.err = core.Parse(name, src) })
+	return e.prog, e.err, hit
+}
+
+// Stats reports the cache counters and current size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Size:    n,
+		Max:     c.max,
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Evicted: c.evicted.Load(),
+	}
+}
+
+// CacheStats is a snapshot of cache behaviour.
+type CacheStats struct {
+	Size    int   `json:"size"`
+	Max     int   `json:"max"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Evicted int64 `json:"evicted"`
+}
+
+// HitRate is hits / (hits + misses), 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/run      run a program (RunRequest JSON in, RunResponse JSON out)
+//	GET  /v1/stats    server, cache, and queue counters
+//	GET  /v1/backends registered engine names
+//	GET  /v1/healthz  liveness probe
+//
+// Job outcomes (runtime error, budget kill, timeout) are reported in the
+// 200 response body — the request was served; the program failed. Only
+// protocol-level problems map to error statuses: malformed JSON is 400,
+// an invalid or oversized request is 422, a saturated queue is 429.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	// 2x the source limit: JSON escaping can double src (every newline and
+	// quote becomes two bytes), and the envelope needs a little room. The
+	// precise limit is enforced on the decoded src by validate.
+	body := http.MaxBytesReader(w, r.Body, 2*int64(s.opts.MaxSrcBytes)+64<<10)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, RunResponse{
+			Outcome: OutcomeRejected,
+			Error:   fmt.Sprintf("decoding request: %v", err),
+		})
+		return
+	}
+	// r.Context() is cancelled when the client disconnects, which tears
+	// the job down and releases its PEs.
+	resp := s.Run(r.Context(), req)
+	writeJSON(w, statusFor(resp.Outcome, resp.Error), resp)
+}
+
+func statusFor(o Outcome, errMsg string) int {
+	switch o {
+	case OutcomeRejected:
+		if errMsg == ErrBusy.Error() {
+			return http.StatusTooManyRequests
+		}
+		return http.StatusUnprocessableEntity
+	case OutcomeParseError:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusOK
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	// Advertise exactly the set /v1/run accepts (core.ParseBackend), so
+	// the two cannot drift from each other.
+	names := make([]string, 0, len(core.Backends()))
+	for _, b := range core.Backends() {
+		names = append(names, b.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"backends": names})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrBusy reports that the server is at capacity: every worker slot is in
+// use and the wait queue is full. Clients should back off and retry
+// (HTTP 429).
+var ErrBusy = errors.New("server: all workers busy and queue full")
+
+// pool bounds concurrent job execution to a fixed number of worker slots
+// and hands freed slots to waiters fairly: FIFO within a key, round-robin
+// across keys. Keyed by program hash, that fairness means a flood of
+// requests for one hot program cannot starve every other program — each
+// distinct program gets a turn per round.
+type pool struct {
+	mu      sync.Mutex
+	free    int // slots neither in use nor promised to a waiter
+	maxWait int
+	waiting int
+	queues  map[Key][]*waiter
+	ring    []Key // keys with waiters, in round-robin order
+	next    int   // ring cursor
+}
+
+type waiter struct {
+	ready   chan struct{} // closed when a slot is handed over
+	granted bool          // written under pool.mu
+}
+
+func newPool(workers, queueDepth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &pool{free: workers, maxWait: queueDepth, queues: make(map[Key][]*waiter)}
+}
+
+// acquire blocks until the caller owns a worker slot, the context is
+// cancelled, or the queue is full. Invariant: free > 0 implies no waiters,
+// because release hands slots directly to waiters first.
+func (p *pool) acquire(ctx context.Context, key Key) error {
+	p.mu.Lock()
+	if p.free > 0 {
+		p.free--
+		p.mu.Unlock()
+		return nil
+	}
+	if p.waiting >= p.maxWait {
+		p.mu.Unlock()
+		return ErrBusy
+	}
+	w := &waiter{ready: make(chan struct{})}
+	if _, ok := p.queues[key]; !ok {
+		p.ring = append(p.ring, key)
+	}
+	p.queues[key] = append(p.queues[key], w)
+	p.waiting++
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if w.granted {
+			// Lost the race: a slot was handed over concurrently with the
+			// cancellation. Pass it on so it is not leaked.
+			p.releaseLocked()
+		} else {
+			p.removeWaiter(key, w)
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns a slot, preferring to hand it to the next waiter in
+// round-robin key order.
+func (p *pool) release() {
+	p.mu.Lock()
+	p.releaseLocked()
+	p.mu.Unlock()
+}
+
+func (p *pool) releaseLocked() {
+	if len(p.ring) == 0 {
+		p.free++
+		return
+	}
+	if p.next >= len(p.ring) {
+		p.next = 0
+	}
+	key := p.ring[p.next]
+	q := p.queues[key]
+	w := q[0]
+	if len(q) == 1 {
+		delete(p.queues, key)
+		p.ring = append(p.ring[:p.next], p.ring[p.next+1:]...)
+		// p.next now indexes the following key (or wraps on the next call).
+	} else {
+		p.queues[key] = q[1:]
+		p.next++
+	}
+	p.waiting--
+	w.granted = true
+	close(w.ready)
+}
+
+// removeWaiter drops a cancelled waiter from its key queue.
+func (p *pool) removeWaiter(key Key, w *waiter) {
+	q := p.queues[key]
+	for i, cand := range q {
+		if cand == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(p.queues, key)
+		for i, k := range p.ring {
+			if k == key {
+				p.ring = append(p.ring[:i], p.ring[i+1:]...)
+				if i < p.next {
+					p.next--
+				}
+				break
+			}
+		}
+	} else {
+		p.queues[key] = q
+	}
+	p.waiting--
+}
+
+// depth reports current waiters (for stats).
+func (p *pool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waiting
+}

@@ -1,0 +1,364 @@
+// Package server is the concurrent job-execution service behind cmd/lolserv:
+// it accepts parallel-LOLCODE source, serves the compiled form out of an
+// LRU program cache (parse+sema+codegen happen once per unique program,
+// not per request), and executes jobs on a bounded worker pool with a
+// per-program fairness queue. Every job runs under an enforced resource
+// budget — a wall-clock deadline and a per-PE step budget threaded through
+// backend.Config — so a hostile or buggy program (an infinite IM IN YR
+// LOOP, a PE that never reaches HUGZ) is killed and its PEs released
+// instead of wedging a worker.
+//
+// The paper's toolchain stops at a batch launcher (coprsh/aprun); this
+// package is the repository's answer to the ROADMAP's production-service
+// north star: the same three engines, behind an API that survives
+// concurrent untrusted traffic.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/shmem"
+)
+
+// Options configures a Server. The zero value is usable: every field has
+// a production-shaped default.
+type Options struct {
+	// Workers bounds concurrently executing jobs (default 4). Each job may
+	// itself run many PE goroutines, so this is the unit of admission
+	// control, not of parallelism.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64); beyond it
+	// submissions fail fast with ErrBusy.
+	QueueDepth int
+	// CacheSize bounds the compiled-program LRU (default 128 programs).
+	CacheSize int
+	// MaxNP caps the per-job PE count (default 64).
+	MaxNP int
+	// MaxSrcBytes caps program size (default 1 MiB).
+	MaxSrcBytes int
+	// MaxOutputBytes caps each job's retained VISIBLE (and, separately,
+	// INVISIBLE) output (default 1 MiB); overflow is dropped and flagged
+	// in the response, bounding server memory against print floods.
+	MaxOutputBytes int
+	// DefaultTimeout and MaxTimeout bound each job's wall clock (defaults
+	// 5s and 30s). A request may ask for less than the max, never more.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultStepBudget and MaxStepBudget bound each PE's step count
+	// (defaults 50M and 500M). A request may ask for less, never more.
+	DefaultStepBudget int64
+	MaxStepBudget     int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = 4
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 64
+	}
+	if out.CacheSize <= 0 {
+		out.CacheSize = 128
+	}
+	if out.MaxNP <= 0 {
+		out.MaxNP = 64
+	}
+	if out.MaxSrcBytes <= 0 {
+		out.MaxSrcBytes = 1 << 20
+	}
+	if out.MaxOutputBytes <= 0 {
+		out.MaxOutputBytes = 1 << 20
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 5 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 30 * time.Second
+	}
+	if out.DefaultStepBudget <= 0 {
+		out.DefaultStepBudget = 50_000_000
+	}
+	if out.MaxStepBudget <= 0 {
+		out.MaxStepBudget = 500_000_000
+	}
+	return out
+}
+
+// Server executes LOLCODE jobs. Create with New; safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *Cache
+	pool  *pool
+
+	jobsRun      atomic.Int64
+	jobsOK       atomic.Int64
+	jobsFailed   atomic.Int64
+	jobsRejected atomic.Int64
+	inFlight     atomic.Int64
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		opts:  o,
+		cache: NewCache(o.CacheSize),
+		pool:  newPool(o.Workers, o.QueueDepth),
+	}
+}
+
+// RunRequest is one job: a program plus its launch parameters.
+type RunRequest struct {
+	// Src is the LOLCODE source (required).
+	Src string `json:"src"`
+	// NP is the PE count; 0 means 1.
+	NP int `json:"np"`
+	// Backend selects the engine: "interp", "vm", or "compile" (default).
+	Backend string `json:"backend,omitempty"`
+	// Stdin feeds GIMMEH.
+	Stdin string `json:"stdin,omitempty"`
+	// Seed is the base RNG seed (PE i uses Seed+i).
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS overrides the server's default job deadline, clamped to
+	// the server max; 0 uses the default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps overrides the server's default per-PE step budget, clamped
+	// to the server max; 0 uses the default.
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// Outcome classifies how a job ended.
+type Outcome string
+
+// Job outcomes.
+const (
+	OutcomeOK         Outcome = "ok"            // ran to completion
+	OutcomeParseError Outcome = "parse_error"   // frontend rejected the program
+	OutcomeRuntime    Outcome = "runtime_error" // program died mid-run
+	OutcomeBudget     Outcome = "budget"        // a PE exceeded the step budget
+	OutcomeTimeout    Outcome = "timeout"       // the job deadline expired
+	OutcomeCancelled  Outcome = "cancelled"     // the client went away
+	OutcomeRejected   Outcome = "rejected"      // invalid request or server busy
+)
+
+// RunResponse reports one job's result.
+type RunResponse struct {
+	Outcome Outcome `json:"outcome"`
+	// Output and Errout carry VISIBLE and INVISIBLE text, grouped per PE
+	// in rank order (deterministic for identical seeds).
+	Output string `json:"output"`
+	Errout string `json:"stderr,omitempty"`
+	// Error holds the failure message for non-ok outcomes.
+	Error string `json:"error,omitempty"`
+
+	Backend string `json:"backend"`
+	NP      int    `json:"np"`
+	// CacheHit reports whether the compiled program came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// OutputTruncated reports that the job printed more than the server's
+	// per-job output budget; the tail was dropped.
+	OutputTruncated bool `json:"output_truncated,omitempty"`
+	// WallMS is the job's wall-clock time in milliseconds, excluding queue
+	// wait; QueueMS is the time spent waiting for a worker.
+	WallMS  float64 `json:"wall_ms"`
+	QueueMS float64 `json:"queue_ms"`
+
+	// Stats carries the PGAS runtime counters for completed runs.
+	Stats *shmem.StatsSnapshot `json:"stats,omitempty"`
+	// SimNanos is the slowest PE's simulated time (zero cost model here,
+	// kept for parity with lolrun -stats).
+	SimNanos float64 `json:"sim_nanos,omitempty"`
+}
+
+// Run executes one job synchronously: validate, hit the program cache,
+// wait for a worker slot (fairly), run under deadline+budget, classify.
+// ctx is the client's context — cancel it and the job dies promptly, its
+// PEs released from any barrier or lock they block in.
+func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
+	if resp, ok := s.validate(&req); !ok {
+		s.jobsRejected.Add(1)
+		return resp
+	}
+	coreBackend, _ := core.ParseBackend(req.Backend) // validated above
+	resp := RunResponse{Backend: coreBackend.String(), NP: req.NP}
+
+	// Admission first: parse+sema runs inside the worker slot too, so a
+	// flood of distinct programs cannot compile without bound — the
+	// frontend is CPU the pool must account for like any other job work.
+	key := KeyOf(req.Src)
+	qStart := time.Now()
+	if err := s.pool.acquire(ctx, key); err != nil {
+		s.jobsRejected.Add(1)
+		resp.QueueMS = msSince(qStart)
+		if errors.Is(err, ErrBusy) {
+			resp.Outcome = OutcomeRejected
+		} else {
+			resp.Outcome = OutcomeCancelled
+		}
+		resp.Error = err.Error()
+		return resp
+	}
+	defer s.pool.release()
+	resp.QueueMS = msSince(qStart)
+
+	// Frontend, amortized: one parse+sema per unique source ever in cache.
+	prog, err, hit := s.cache.GetOrCompile(key, "job.lol", req.Src)
+	resp.CacheHit = hit
+	if err != nil {
+		s.jobsRejected.Add(1)
+		resp.Outcome = OutcomeParseError
+		resp.Error = err.Error()
+		return resp
+	}
+
+	timeout := clampDuration(time.Duration(req.TimeoutMS)*time.Millisecond,
+		s.opts.DefaultTimeout, s.opts.MaxTimeout)
+	jobCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var out, errw strings.Builder
+	cfg := backend.Config{
+		NP:          req.NP,
+		Seed:        req.Seed,
+		Stdout:      &out,
+		Stderr:      &errw,
+		Stdin:       strings.NewReader(req.Stdin),
+		GroupOutput: true,
+		Context:     jobCtx,
+		StepBudget:  clampInt64(req.MaxSteps, s.opts.DefaultStepBudget, s.opts.MaxStepBudget),
+		MaxOutput:   s.opts.MaxOutputBytes,
+	}
+
+	s.jobsRun.Add(1)
+	s.inFlight.Add(1)
+	start := time.Now()
+	res, runErr := prog.Run(core.RunConfig{Config: cfg, Backend: coreBackend})
+	s.inFlight.Add(-1)
+	resp.WallMS = msSince(start)
+	resp.Output = out.String()
+	resp.Errout = errw.String()
+	if res != nil {
+		// Set even for failed runs: the partial output may be clipped.
+		resp.OutputTruncated = res.OutputTruncated
+	}
+
+	if runErr != nil {
+		s.jobsFailed.Add(1)
+		resp.Outcome = classify(runErr, ctx)
+		resp.Error = runErr.Error()
+		return resp
+	}
+	s.jobsOK.Add(1)
+	resp.Outcome = OutcomeOK
+	if res != nil {
+		stats := res.Stats
+		resp.Stats = &stats
+		for _, ns := range res.SimNanos {
+			if ns > resp.SimNanos {
+				resp.SimNanos = ns
+			}
+		}
+	}
+	return resp
+}
+
+// validate normalizes the request in place and builds the rejection
+// response when it is malformed.
+func (s *Server) validate(req *RunRequest) (RunResponse, bool) {
+	reject := func(format string, args ...any) (RunResponse, bool) {
+		return RunResponse{Outcome: OutcomeRejected, Error: fmt.Sprintf(format, args...)}, false
+	}
+	if req.Src == "" {
+		return reject("empty src")
+	}
+	if len(req.Src) > s.opts.MaxSrcBytes {
+		return reject("src is %d bytes (limit %d)", len(req.Src), s.opts.MaxSrcBytes)
+	}
+	if req.NP <= 0 {
+		req.NP = 1
+	}
+	if req.NP > s.opts.MaxNP {
+		return reject("np %d exceeds the server limit %d", req.NP, s.opts.MaxNP)
+	}
+	if _, err := core.ParseBackend(req.Backend); err != nil {
+		return reject("%v", err)
+	}
+	if req.TimeoutMS < 0 || req.MaxSteps < 0 {
+		return reject("negative timeout_ms or max_steps")
+	}
+	return RunResponse{}, true
+}
+
+// classify maps a run error onto an outcome. Order matters: a client
+// cancellation also surfaces as context.Canceled inside the job context,
+// so the client's own context is consulted first.
+func classify(err error, clientCtx context.Context) Outcome {
+	switch {
+	case clientCtx.Err() != nil:
+		return OutcomeCancelled
+	case errors.Is(err, backend.ErrStepBudget):
+		return OutcomeBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeTimeout
+	case errors.Is(err, context.Canceled):
+		return OutcomeCancelled
+	default:
+		return OutcomeRuntime
+	}
+}
+
+// Stats is the server-wide counter snapshot served at /v1/stats.
+type Stats struct {
+	Cache        CacheStats `json:"cache"`
+	JobsRun      int64      `json:"jobs_run"`
+	JobsOK       int64      `json:"jobs_ok"`
+	JobsFailed   int64      `json:"jobs_failed"`
+	JobsRejected int64      `json:"jobs_rejected"`
+	InFlight     int64      `json:"in_flight"`
+	Queued       int64      `json:"queued"`
+	Workers      int        `json:"workers"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Cache:        s.cache.Stats(),
+		JobsRun:      s.jobsRun.Load(),
+		JobsOK:       s.jobsOK.Load(),
+		JobsFailed:   s.jobsFailed.Load(),
+		JobsRejected: s.jobsRejected.Load(),
+		InFlight:     s.inFlight.Load(),
+		Queued:       int64(s.pool.depth()),
+		Workers:      s.opts.Workers,
+	}
+}
+
+func clampDuration(v, def, max time.Duration) time.Duration {
+	if v <= 0 {
+		v = def
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+func clampInt64(v, def, max int64) int64 {
+	if v <= 0 {
+		v = def
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

@@ -1,0 +1,453 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const helloSrc = "HAI 1.2\nVISIBLE SMOOSH \"PE \" AN ME MKAY\nKTHXBYE"
+
+const spinSrc = `HAI 1.2
+I HAS A x ITZ 0
+IM IN YR forever
+  x R SUM OF x AN 1
+IM OUTTA YR forever
+KTHXBYE`
+
+// stuckBarrierSrc wedges PE 0 in an infinite loop while every other PE
+// blocks in HUGZ — the classic way a bad job deadlocks a shared runtime.
+const stuckBarrierSrc = `HAI 1.2
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  I HAS A x ITZ 0
+  IM IN YR forever
+    x R SUM OF x AN 1
+  IM OUTTA YR forever
+OIC
+HUGZ
+KTHXBYE`
+
+// TestRunOutcomes is the table-driven behaviour matrix for Server.Run.
+func TestRunOutcomes(t *testing.T) {
+	s := New(Options{Workers: 4, MaxNP: 8})
+	cases := []struct {
+		name        string
+		req         RunRequest
+		wantOutcome Outcome
+		wantOutput  string
+		wantErrSub  string
+	}{
+		{
+			name:        "hello np4 compile",
+			req:         RunRequest{Src: helloSrc, NP: 4},
+			wantOutcome: OutcomeOK,
+			wantOutput:  "PE 0\nPE 1\nPE 2\nPE 3\n",
+		},
+		{
+			name:        "hello np2 interp",
+			req:         RunRequest{Src: helloSrc, NP: 2, Backend: "interp"},
+			wantOutcome: OutcomeOK,
+			wantOutput:  "PE 0\nPE 1\n",
+		},
+		{
+			name:        "hello vm",
+			req:         RunRequest{Src: helloSrc, Backend: "vm"},
+			wantOutcome: OutcomeOK,
+			wantOutput:  "PE 0\n",
+		},
+		{
+			name:        "parse error",
+			req:         RunRequest{Src: "HAI 1.2\nVISIBLE \"unterminated\nKTHXBYE"},
+			wantOutcome: OutcomeParseError,
+		},
+		{
+			name:        "runtime error",
+			req:         RunRequest{Src: "HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE"},
+			wantOutcome: OutcomeRuntime,
+			wantErrSub:  "division by zero",
+		},
+		{
+			name:        "step budget kills infinite loop",
+			req:         RunRequest{Src: spinSrc, NP: 2, MaxSteps: 20_000},
+			wantOutcome: OutcomeBudget,
+			wantErrSub:  "step budget exceeded",
+		},
+		{
+			name:        "deadline kills infinite loop",
+			req:         RunRequest{Src: spinSrc, TimeoutMS: 50},
+			wantOutcome: OutcomeTimeout,
+		},
+		{
+			name:        "np over limit rejected",
+			req:         RunRequest{Src: helloSrc, NP: 9},
+			wantOutcome: OutcomeRejected,
+			wantErrSub:  "np 9 exceeds",
+		},
+		{
+			name:        "unknown backend rejected",
+			req:         RunRequest{Src: helloSrc, Backend: "jit"},
+			wantOutcome: OutcomeRejected,
+			wantErrSub:  "unknown backend",
+		},
+		{
+			name:        "empty src rejected",
+			req:         RunRequest{},
+			wantOutcome: OutcomeRejected,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			resp := s.Run(context.Background(), tc.req)
+			if resp.Outcome != tc.wantOutcome {
+				t.Fatalf("outcome = %q (err %q), want %q", resp.Outcome, resp.Error, tc.wantOutcome)
+			}
+			if tc.wantOutput != "" && resp.Output != tc.wantOutput {
+				t.Errorf("output = %q, want %q", resp.Output, tc.wantOutput)
+			}
+			if tc.wantErrSub != "" && !strings.Contains(resp.Error, tc.wantErrSub) {
+				t.Errorf("error = %q, want substring %q", resp.Error, tc.wantErrSub)
+			}
+		})
+	}
+}
+
+// TestCacheHitServesIdenticalOutput runs the same program twice and checks
+// the second run is a cache hit with byte-identical output.
+func TestCacheHitServesIdenticalOutput(t *testing.T) {
+	s := New(Options{Workers: 2})
+	req := RunRequest{Src: helloSrc, NP: 4, Seed: 7}
+
+	first := s.Run(context.Background(), req)
+	if first.Outcome != OutcomeOK || first.CacheHit {
+		t.Fatalf("first run: outcome=%q cacheHit=%v, want ok/miss", first.Outcome, first.CacheHit)
+	}
+	second := s.Run(context.Background(), req)
+	if second.Outcome != OutcomeOK || !second.CacheHit {
+		t.Fatalf("second run: outcome=%q cacheHit=%v, want ok/hit", second.Outcome, second.CacheHit)
+	}
+	if first.Output != second.Output {
+		t.Errorf("cache hit changed output: %q vs %q", first.Output, second.Output)
+	}
+	cs := s.cache.Stats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", cs)
+	}
+}
+
+// TestConcurrentMixedBackendJobs hammers one server with a mix of programs
+// and backends from many goroutines; run under -race in CI. Every job must
+// land the deterministic output for its seed regardless of interleaving.
+func TestConcurrentMixedBackendJobs(t *testing.T) {
+	s := New(Options{Workers: 4, QueueDepth: 256, CacheSize: 8})
+	type want struct {
+		req RunRequest
+		out string
+	}
+	mix := []want{
+		{RunRequest{Src: helloSrc, NP: 2, Backend: "interp"}, "PE 0\nPE 1\n"},
+		{RunRequest{Src: helloSrc, NP: 3, Backend: "vm"}, "PE 0\nPE 1\nPE 2\n"},
+		{RunRequest{Src: helloSrc, NP: 4, Backend: "compile"}, "PE 0\nPE 1\nPE 2\nPE 3\n"},
+		{RunRequest{Src: "HAI 1.2\nVISIBLE SUM OF ME AN 40\nKTHXBYE", NP: 2, Backend: "vm"}, "40\n41\n"},
+	}
+	const perCase = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mix)*perCase)
+	for _, m := range mix {
+		for i := 0; i < perCase; i++ {
+			wg.Add(1)
+			go func(m want) {
+				defer wg.Done()
+				resp := s.Run(context.Background(), m.req)
+				if resp.Outcome != OutcomeOK {
+					errs <- fmt.Errorf("%s np=%d: outcome %q (%s)", m.req.Backend, m.req.NP, resp.Outcome, resp.Error)
+					return
+				}
+				if resp.Output != m.out {
+					errs <- fmt.Errorf("%s np=%d: output %q, want %q", m.req.Backend, m.req.NP, resp.Output, m.out)
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := s.Stats(); st.JobsOK != int64(len(mix)*perCase) {
+		t.Errorf("jobs_ok = %d, want %d", st.JobsOK, len(mix)*perCase)
+	}
+}
+
+// TestCancelledJobReleasesBarrier cancels a job whose PE 0 spins forever
+// while PEs 1..3 block in HUGZ: the job must return promptly (no PE left
+// wedged in the barrier) and classify as cancelled.
+func TestCancelledJobReleasesBarrier(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	done := make(chan RunResponse, 1)
+	go func() {
+		done <- s.Run(ctx, RunRequest{Src: stuckBarrierSrc, NP: 4, Backend: "compile"})
+	}()
+	select {
+	case resp := <-done:
+		if resp.Outcome != OutcomeCancelled {
+			t.Fatalf("outcome = %q (%s), want cancelled", resp.Outcome, resp.Error)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled job did not return: PEs stuck in HUGZ")
+	}
+
+	// The worker slot must have been released: a follow-up job runs fine.
+	resp := s.Run(context.Background(), RunRequest{Src: helloSrc})
+	if resp.Outcome != OutcomeOK {
+		t.Fatalf("follow-up job: outcome %q (%s)", resp.Outcome, resp.Error)
+	}
+}
+
+// TestOutputBudgetTruncates bounds server memory against print floods:
+// a job that prints more than MaxOutputBytes gets its tail dropped and
+// the truncation flagged, while the run itself still succeeds.
+func TestOutputBudgetTruncates(t *testing.T) {
+	s := New(Options{Workers: 1, MaxOutputBytes: 64})
+	src := `HAI 1.2
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 50
+  VISIBLE "0123456789"
+IM OUTTA YR l
+KTHXBYE`
+	resp := s.Run(context.Background(), RunRequest{Src: src})
+	if resp.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %q (%s)", resp.Outcome, resp.Error)
+	}
+	if !resp.OutputTruncated {
+		t.Error("550-byte print under a 64-byte budget was not flagged truncated")
+	}
+	if len(resp.Output) > 64 {
+		t.Errorf("output is %d bytes, budget 64", len(resp.Output))
+	}
+	// Truncation must not break output determinism: per-PE budget shares
+	// mean the cut point depends only on each PE's own stream.
+	again := s.Run(context.Background(), RunRequest{Src: src, NP: 4})
+	again2 := s.Run(context.Background(), RunRequest{Src: src, NP: 4})
+	if again.Output != again2.Output {
+		t.Errorf("truncated multi-PE output is nondeterministic:\n%q\nvs\n%q", again.Output, again2.Output)
+	}
+}
+
+// TestLRUEviction checks the cache evicts least-recently-used programs and
+// counts evictions.
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	srcs := []string{
+		"HAI 1.2\nVISIBLE 1\nKTHXBYE",
+		"HAI 1.2\nVISIBLE 2\nKTHXBYE",
+		"HAI 1.2\nVISIBLE 3\nKTHXBYE",
+	}
+	for _, src := range srcs {
+		if _, err, _ := c.GetOrCompile(KeyOf(src), "t.lol", src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// srcs[0] is the LRU victim; re-requesting it must miss.
+	if _, _, hit := c.GetOrCompile(KeyOf(srcs[0]), "t.lol", srcs[0]); hit {
+		t.Error("evicted program reported as cache hit")
+	}
+	if _, _, hit := c.GetOrCompile(KeyOf(srcs[2]), "t.lol", srcs[2]); !hit {
+		t.Error("recently used program reported as miss")
+	}
+	st := c.Stats()
+	if st.Evicted < 1 || st.Size > 2 {
+		t.Errorf("cache stats = %+v, want evictions and size <= 2", st)
+	}
+}
+
+// TestQueueFullRejects saturates the workers and the queue with spinning
+// jobs and expects the next submission to fail fast with ErrBusy.
+func TestQueueFullRejects(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// Occupy the only worker slot directly through the pool.
+	if err := s.pool.acquire(context.Background(), Key{}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // fills the single queue slot
+		defer wg.Done()
+		close(started)
+		if err := s.pool.acquire(context.Background(), Key{1}); err != nil {
+			t.Error(err)
+			return
+		}
+		<-release
+		s.pool.release()
+	}()
+	<-started
+	// Give the queued acquire a moment to register.
+	for i := 0; i < 100 && s.pool.depth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := s.Run(context.Background(), RunRequest{Src: helloSrc})
+	if resp.Outcome != OutcomeRejected || !strings.Contains(resp.Error, "busy") {
+		t.Fatalf("outcome = %q (%s), want busy rejection", resp.Outcome, resp.Error)
+	}
+	close(release)
+	s.pool.release() // release the directly-held slot
+	wg.Wait()
+}
+
+// TestPoolFairness floods the pool with one hot key, then queues a single
+// job under a second key: the cold key must be served within one round of
+// slot handoffs, not after the entire hot backlog.
+func TestPoolFairness(t *testing.T) {
+	p := newPool(1, 64)
+	hot, cold := Key{1}, Key{2}
+	if err := p.acquire(context.Background(), hot); err != nil {
+		t.Fatal(err)
+	}
+
+	const backlog = 8
+	order := make(chan string, backlog+1)
+	var wg sync.WaitGroup
+	depthWas := 0
+	// enqueueAndWait serializes arrival order so the FIFO within each key
+	// is deterministic.
+	enqueueAndWait := func(key Key, label string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.acquire(context.Background(), key); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- label
+			p.release()
+		}()
+		depthWas++
+		for i := 0; i < 1000 && p.depth() < depthWas; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < backlog; i++ {
+		enqueueAndWait(hot, fmt.Sprintf("hot%d", i))
+	}
+	enqueueAndWait(cold, "cold")
+
+	p.release() // start the handoff chain
+	wg.Wait()
+	close(order)
+
+	var got []string
+	for label := range order {
+		got = append(got, label)
+	}
+	coldAt := -1
+	for i, label := range got {
+		if label == "cold" {
+			coldAt = i
+		}
+	}
+	if coldAt < 0 {
+		t.Fatal("cold job never ran")
+	}
+	if coldAt > 1 {
+		t.Errorf("cold key served at position %d of %v; round-robin should interleave it within one round", coldAt, got)
+	}
+}
+
+// TestHTTPQuickstart drives the documented curl flow end to end: run a
+// program over HTTP, check the JSON, then read /v1/stats and /v1/healthz.
+func TestHTTPQuickstart(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(RunRequest{Src: helloSrc, NP: 2, Backend: "vm"})
+	httpResp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", httpResp.StatusCode)
+	}
+	var resp RunResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != OutcomeOK || resp.Output != "PE 0\nPE 1\n" {
+		t.Fatalf("response = %+v", resp)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsRun != 1 || st.Cache.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 job / 1 miss", st)
+	}
+
+	health, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", health.StatusCode)
+	}
+
+	// Malformed JSON is a protocol error, not a job outcome.
+	bad, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestSingleFlightCompile fires many concurrent first requests for one
+// program and checks the frontend ran once (one miss, rest hits or blocked
+// on the same entry — never more than one miss total).
+func TestSingleFlightCompile(t *testing.T) {
+	s := New(Options{Workers: 8, QueueDepth: 64})
+	src := "HAI 1.2\nVISIBLE \"once\"\nKTHXBYE"
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := s.Run(context.Background(), RunRequest{Src: src})
+			if resp.Outcome != OutcomeOK {
+				t.Errorf("outcome %q: %s", resp.Outcome, resp.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	cs := s.cache.Stats()
+	if cs.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 (single-flight)", cs.Misses)
+	}
+}

@@ -18,9 +18,18 @@ type ticketLock struct {
 	owner   atomic.Int64 // PE id + 1; 0 = unheld (diagnostics only)
 }
 
-func (l *ticketLock) acquire(pe int) {
+// acquire spins until this PE's ticket is served or the world fails.
+// Abandoning a ticket on failure would corrupt the queue for PEs behind
+// it, but a failed world is tearing down: every other spinner observes the
+// same failCh, so nobody is left waiting on the orphaned ticket.
+func (l *ticketLock) acquire(pe int, failCh <-chan struct{}) error {
 	t := l.next.Add(1) - 1
 	for spins := 0; l.serving.Load() != t; spins++ {
+		select {
+		case <-failCh:
+			return ErrWorldFailed
+		default:
+		}
 		if spins < 64 {
 			runtime.Gosched()
 		} else {
@@ -28,6 +37,7 @@ func (l *ticketLock) acquire(pe int) {
 		}
 	}
 	l.owner.Store(int64(pe) + 1)
+	return nil
 }
 
 // tryAcquire succeeds only when the lock is completely idle.
@@ -75,7 +85,9 @@ func (pe *PE) SetLock(id int) error {
 	l := &pe.w.locks[id]
 	if !l.tryAcquire(pe.id) {
 		pe.w.stats.LockContended.Add(1)
-		l.acquire(pe.id)
+		if err := l.acquire(pe.id, pe.w.failCh); err != nil {
+			return err
+		}
 	}
 	pe.w.stats.LockAcquires.Add(1)
 	pe.stats.LockAcquires++

@@ -167,12 +167,31 @@ func (w *World) fail(err error) {
 	})
 }
 
+// Fail aborts the world cooperatively from outside the SPMD body: every PE
+// blocked in a barrier, lock acquisition, or point-to-point wait returns
+// ErrWorldFailed instead of blocking forever, and PEs that are still
+// computing tear down at their next blocking operation. Launchers use it
+// to implement cancellation (deadline hit, client disconnected) without
+// deadlocking peers in HUGZ. The first failure wins; later calls are
+// no-ops.
+func (w *World) Fail(err error) {
+	if err == nil {
+		err = ErrWorldFailed
+	}
+	w.fail(err)
+}
+
 func (w *World) failed() error {
 	if err, ok := w.failErr.Load().(error); ok {
 		return err
 	}
 	return nil
 }
+
+// Err returns the first failure recorded for this world (a PE error or an
+// external Fail), or nil while the world is healthy. Launchers use it to
+// distinguish a cancellation-driven teardown from a PE's own error.
+func (w *World) Err() error { return w.failed() }
 
 // PE is the per-processing-element handle passed to the SPMD body.
 type PE struct {

@@ -68,6 +68,7 @@ func (p *Program) RunWorld(cfg backend.Config, world *shmem.World) (*backend.Res
 			out:   io.Out,
 			errw:  io.Err,
 			stdin: io.Stdin,
+			meter: backend.NewMeter(&cfg),
 		}
 		return r.run()
 	})
@@ -108,6 +109,10 @@ type runner struct {
 	stack  []value.Value
 	frames []frame
 	pred   []int // TXT MAH BFF predication stack of target PE ids
+
+	// meter enforces the run's deadline and step budget; one VM step is
+	// one executed instruction.
+	meter backend.Meter
 }
 
 func (r *runner) push(v value.Value) { r.stack = append(r.stack, v) }
@@ -154,6 +159,9 @@ func (r *runner) run() error {
 	for {
 		in := &fr.chunk.Code[fr.ip]
 		fr.ip++
+		if err := r.meter.Step(); err != nil {
+			return rerr(in.Pos, err)
+		}
 		switch in.Op {
 		case OpNop:
 
