@@ -14,6 +14,7 @@
 //	lolbench remote                        T2 micro: put/get cost vs distance
 //	lolbench toolchain                     E3: lcc -> Go over testdata/
 //	lolbench serve [-clients 8] [-reqs 50] lolserv load test: req/s, cache, p50/p99
+//	lolbench serve -scenario zipf          hot-key /v1/batch load, result cache on/off
 //	lolbench all                           everything above
 package main
 
@@ -33,6 +34,7 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent clients for the serve experiment")
 	reqs := flag.Int("reqs", 50, "requests per client for the serve experiment")
 	workers := flag.Int("workers", 4, "server worker slots for the serve experiment")
+	scenario := flag.String("scenario", "mixed", "serve scenario: mixed (per-request load) or zipf (hot-key batches, cache on vs off)")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
 		usage()
@@ -79,7 +81,15 @@ func main() {
 	case "toolchain":
 		err = experiments.Toolchain(w, *dir)
 	case "serve":
-		err = experiments.Serve(w, *clients, *reqs, *workers)
+		switch *scenario {
+		case "zipf":
+			err = experiments.ServeZipf(w, *clients, *reqs, *workers)
+		case "mixed", "":
+			err = experiments.Serve(w, *clients, *reqs, *workers)
+		default:
+			fmt.Fprintf(os.Stderr, "lolbench: unknown serve scenario %q (want mixed or zipf)\n", *scenario)
+			os.Exit(2)
+		}
 	case "all":
 		err = runAll(w, *dir, *np, *trials)
 	default:
@@ -116,6 +126,7 @@ func runAll(w *os.File, dir string, np, trials int) error {
 		func() error { return sep(w, experiments.NocHeatmap(w, 16, 8, 2)) },
 		func() error { return sep(w, experiments.Toolchain(w, dir)) },
 		func() error { return sep(w, experiments.Serve(w, 8, 50, 4)) },
+		func() error { return sep(w, experiments.ServeZipf(w, 8, 50, 4)) },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {
@@ -145,6 +156,8 @@ experiments:
   barriers locks remote noc     T2 microbenchmarks + NoC traffic heatmap
   toolchain                     E3: lcc -> Go over testdata/
   serve                         lolserv load test: req/s, cache hit rate, p50/p99
+                                (-scenario zipf: hot-key /v1/batch load, result
+                                 cache on vs -result-cache=0, measured speedup)
   all                           run everything
 
 flags:

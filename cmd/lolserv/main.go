@@ -1,13 +1,17 @@
 // Command lolserv is the parallel-LOLCODE execution service: an HTTP
-// daemon over internal/server that accepts programs as JSON jobs, serves
-// compiled artifacts from an LRU program cache, and runs them on a
-// bounded worker pool under enforced wall-clock and step budgets.
+// daemon over internal/server that accepts programs as JSON jobs (singly
+// via /v1/run or a whole assignment at once via /v1/batch), serves
+// compiled artifacts from an LRU program cache and repeated
+// deterministic jobs from a result cache (disable with -result-cache=0),
+// and runs whatever must actually execute on a bounded worker pool under
+// enforced wall-clock and step budgets.
 //
 //	lolserv -addr :8404 -workers 8 -cache 256
 //	curl -s localhost:8404/v1/run -d '{"src":"HAI 1.2\nVISIBLE ME\nKTHXBYE","np":4}'
 //
-// See internal/server/README.md for the API and budget semantics, and
-// `lolbench serve` for the load-generator experiment against this server.
+// See internal/server/README.md for the API, cacheability, and budget
+// semantics, and `lolbench serve` (-scenario zipf) for the load-generator
+// experiments against this server.
 package main
 
 import (
@@ -34,6 +38,8 @@ func run() int {
 	workers := flag.Int("workers", 4, "concurrently executing jobs")
 	queue := flag.Int("queue", 64, "jobs allowed to wait for a worker")
 	cacheSize := flag.Int("cache", 128, "compiled programs kept in the LRU cache")
+	resultCache := flag.Int("result-cache", 512, "deterministic results kept in the LRU result cache (0 disables)")
+	maxBatch := flag.Int("max-batch", 256, "jobs allowed in one /v1/batch request")
 	maxNP := flag.Int("max-np", 64, "PE count limit per job")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-job wall-clock budget")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "largest wall-clock budget a job may request")
@@ -48,14 +54,20 @@ func run() int {
 		return 2
 	}
 
+	resultCacheSize := *resultCache
+	if resultCacheSize == 0 {
+		resultCacheSize = -1 // flag 0 = off; Options 0 = default
+	}
 	srv := server.New(server.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		MaxNP:          *maxNP,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxStepBudget:  *maxSteps,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		ResultCacheSize: resultCacheSize,
+		MaxBatchJobs:    *maxBatch,
+		MaxNP:           *maxNP,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxStepBudget:   *maxSteps,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -68,8 +80,8 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("lolserv: listening on %s (workers=%d queue=%d cache=%d max-np=%d timeout=%s)",
-		*addr, *workers, *queue, *cacheSize, *maxNP, *timeout)
+	log.Printf("lolserv: listening on %s (workers=%d queue=%d cache=%d result-cache=%d max-batch=%d max-np=%d timeout=%s)",
+		*addr, *workers, *queue, *cacheSize, *resultCache, *maxBatch, *maxNP, *timeout)
 
 	select {
 	case err := <-errCh:
@@ -88,8 +100,12 @@ func run() int {
 		return 1
 	}
 	st := srv.Stats()
-	log.Printf("lolserv: served %d jobs (%d ok, %d failed, %d rejected), cache %d/%d hit rate %.1f%%",
-		st.JobsRun, st.JobsOK, st.JobsFailed, st.JobsRejected,
+	log.Printf("lolserv: served %d jobs (%d ok, %d failed, %d rejected), %d batches, program cache %d/%d hit rate %.1f%%",
+		st.JobsRun, st.JobsOK, st.JobsFailed, st.JobsRejected, st.BatchesRun,
 		st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, 100*st.Cache.HitRate())
+	if rc := st.ResultCache; rc.Enabled {
+		log.Printf("lolserv: result cache served %d of %d cacheable jobs without executing (%d hits, %d coalesced, %d misses, %d bypassed)",
+			rc.Hits+rc.Coalesced, rc.Hits+rc.Coalesced+rc.Misses, rc.Hits, rc.Coalesced, rc.Misses, rc.Bypassed)
+	}
 	return 0
 }

@@ -27,8 +27,12 @@
 //     emitted C + OpenSHMEM);
 //   - internal/server: the concurrent job-execution service — an LRU
 //     compiled-program cache (parse+sema+codegen once per unique program),
-//     a bounded worker pool with a per-program fairness queue, and
-//     enforced per-job deadlines and step budgets;
+//     a deterministic result cache with singleflight coalescing (identical
+//     jobs execute once; a run is cacheable iff its determinism audit
+//     passes — no GIMMEH arbitration, shared state, or locks at NP>1, see
+//     backend.Audit — and it completed ok, untruncated, under grouped
+//     output), a batch API, a bounded worker pool with a per-program
+//     fairness queue, and enforced per-job deadlines and step budgets;
 //   - cmd/lcc, lolrun, lolfmt, lolbench, lolserv: the toolchain, the SPMD
 //     launcher (coprsh/aprun analog), a formatter, the experiment harness,
 //     and the HTTP execution daemon (`lolbench serve` load-tests it).

@@ -1,0 +1,61 @@
+package backend
+
+// Audit summarizes which input sources and scheduling-dependent features
+// a program uses. It is computed once per parsed program from the AST
+// (core.Program.Audit) and consulted by callers that want to reuse a
+// run's result — most importantly the internal/server result cache,
+// which may only serve a stored result when a fresh execution would be
+// guaranteed to produce identical bytes.
+//
+// The contract: a run is a pure function of (source, engine, NP, seed,
+// stdin) exactly when every input the program consumes is one of those
+// keyed values and no observable value depends on the goroutine
+// schedule. WHATEVR/WHATEVAR are keyed by the seed (PE i draws from
+// Seed+i) and GIMMEH by the stdin bytes, so neither breaks determinism
+// on its own; what does is cross-PE arbitration, which only the flags
+// below can introduce.
+type Audit struct {
+	// ReadsStdin reports a GIMMEH anywhere in the program. At NP=1 the
+	// single PE consumes lines in program order (deterministic given the
+	// stdin bytes); at NP>1 lines go to whichever PE asks first, a race.
+	ReadsStdin bool
+	// UsesRandom reports WHATEVR or WHATEVAR. Harmless for determinism:
+	// each PE's stream is fully determined by Seed+rank.
+	UsesRandom bool
+	// UsesShared reports any WE HAS A declaration. Shared symbols are the
+	// only channel for cross-PE data flow (UR/MAH remote access), and an
+	// unsynchronized remote read racing the owner's write is
+	// schedule-dependent, so any shared state disqualifies NP>1 runs.
+	UsesShared bool
+	// UsesLocks reports any lock statement (IM [SRSLY] MESIN WIF,
+	// DUN MESIN WIF). Acquisition order is scheduler-chosen.
+	UsesLocks bool
+	// UsesTrylock reports the non-blocking IM MESIN WIF form, whose IT
+	// result samples the instantaneous lock state — a race even when the
+	// final data values would agree.
+	UsesTrylock bool
+}
+
+// DeterministicAt reports whether a run at np PEs is a pure function of
+// (source, engine, np, seed, stdin). A single PE cannot race with
+// anyone, so NP=1 is always deterministic; at NP>1 the program must be
+// communication-free: no stdin arbitration, no shared symbols (hence no
+// remote access), no locks. This is deliberately conservative — a
+// barrier-disciplined exchange can be deterministic in practice — but
+// it is sound, and soundness is what a result cache needs.
+func (a Audit) DeterministicAt(np int) bool {
+	if np <= 1 {
+		return true
+	}
+	return !a.ReadsStdin && !a.UsesShared && !a.UsesLocks && !a.UsesTrylock
+}
+
+// DeterministicOutput reports whether cfg's output discipline makes the
+// merged VISIBLE/INVISIBLE streams schedule-independent: grouped mode
+// buffers per PE and flushes in rank order, and a single PE has nothing
+// to interleave with. Live multi-PE output interleaves at the
+// scheduler's whim and must never be replayed from a cache even when
+// the program itself passes DeterministicAt.
+func (cfg Config) DeterministicOutput() bool {
+	return cfg.GroupOutput || cfg.NP <= 1
+}

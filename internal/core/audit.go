@@ -1,0 +1,45 @@
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/backend"
+)
+
+// Audit reports the program's determinism audit (see backend.Audit),
+// computed from the AST once on first use and cached. The server's
+// result cache gates on it: a job may only be answered from a stored
+// result when Audit().DeterministicAt(NP) holds and the run used
+// grouped output, so every byte of the response is a pure function of
+// the cache key.
+func (p *Program) Audit() backend.Audit {
+	p.auditOnce.Do(func() { p.audit = auditProgram(p.AST) })
+	return p.audit
+}
+
+// auditProgram walks the tree and records every construct whose result
+// can depend on an un-keyed input or on cross-PE scheduling. The walk
+// covers function bodies too (ast.Walk descends into FuncDecl), so a
+// GIMMEH buried in a HOW IZ I is found even if no call site is visible
+// statically.
+func auditProgram(prog *ast.Program) backend.Audit {
+	var a backend.Audit
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Gimmeh:
+			a.ReadsStdin = true
+		case *ast.Whatevr, *ast.Whatevar:
+			a.UsesRandom = true
+		case *ast.Decl:
+			if x.Scope == ast.ScopeWe {
+				a.UsesShared = true
+			}
+		case *ast.Lock:
+			a.UsesLocks = true
+			if x.Action == ast.LockTry {
+				a.UsesTrylock = true
+			}
+		}
+		return true
+	})
+	return a
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+)
+
+// TestAudit pins the determinism audit's flag extraction and its
+// cacheability verdict — the server's result cache is only sound if
+// these verdicts are.
+func TestAudit(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		want   backend.Audit
+		detNP4 bool
+	}{
+		{
+			name:   "pure compute",
+			src:    "HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SUM OF x AN 2\nKTHXBYE",
+			want:   backend.Audit{},
+			detNP4: true,
+		},
+		{
+			name:   "random is keyed by seed",
+			src:    "HAI 1.2\nVISIBLE WHATEVR\nVISIBLE WHATEVAR\nKTHXBYE",
+			want:   backend.Audit{UsesRandom: true},
+			detNP4: true,
+		},
+		{
+			name:   "gimmeh races at np>1",
+			src:    "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE x\nKTHXBYE",
+			want:   backend.Audit{ReadsStdin: true},
+			detNP4: false,
+		},
+		{
+			name:   "gimmeh inside a function is still found",
+			src:    "HAI 1.2\nHOW IZ I readx\n  I HAS A x\n  GIMMEH x\n  FOUND YR x\nIF U SAY SO\nVISIBLE I IZ readx MKAY\nKTHXBYE",
+			want:   backend.Audit{ReadsStdin: true},
+			detNP4: false,
+		},
+		{
+			name:   "shared state",
+			src:    "HAI 1.2\nWE HAS A c ITZ A NUMBR AN ITZ ME\nHUGZ\nVISIBLE SUM OF c AN MAH FRENZ\nKTHXBYE",
+			want:   backend.Audit{UsesShared: true},
+			detNP4: false,
+		},
+		{
+			name: "locks",
+			src: "HAI 1.2\nWE HAS A x ITZ A NUMBR AN IM SHARIN IT\n" +
+				"IM SRSLY MESIN WIF x\nDUN MESIN WIF x\nVISIBLE \"OK\"\nKTHXBYE",
+			want:   backend.Audit{UsesShared: true, UsesLocks: true},
+			detNP4: false,
+		},
+		{
+			name: "trylock",
+			src: "HAI 1.2\nWE HAS A x ITZ A NUMBR AN IM SHARIN IT\n" +
+				"IM MESIN WIF x, O RLY?\nYA RLY\n  DUN MESIN WIF x\nOIC\nKTHXBYE",
+			want:   backend.Audit{UsesShared: true, UsesLocks: true, UsesTrylock: true},
+			detNP4: false,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := core.Parse("audit.lol", tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prog.Audit()
+			if got != tc.want {
+				t.Errorf("Audit() = %+v, want %+v", got, tc.want)
+			}
+			// NP=1 is always deterministic: one PE cannot race anyone.
+			if !got.DeterministicAt(1) {
+				t.Error("DeterministicAt(1) = false, want true")
+			}
+			if got.DeterministicAt(4) != tc.detNP4 {
+				t.Errorf("DeterministicAt(4) = %v, want %v", got.DeterministicAt(4), tc.detNP4)
+			}
+		})
+	}
+}
+
+// TestDeterministicOutput pins the output-discipline half of the
+// contract: grouped mode or a single PE is replayable, live multi-PE
+// output is not.
+func TestDeterministicOutput(t *testing.T) {
+	cases := []struct {
+		cfg  backend.Config
+		want bool
+	}{
+		{backend.Config{NP: 1, GroupOutput: false}, true},
+		{backend.Config{NP: 4, GroupOutput: true}, true},
+		{backend.Config{NP: 4, GroupOutput: false}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.DeterministicOutput(); got != tc.want {
+			t.Errorf("DeterministicOutput(np=%d grouped=%v) = %v, want %v",
+				tc.cfg.NP, tc.cfg.GroupOutput, got, tc.want)
+		}
+	}
+}

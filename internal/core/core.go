@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/backend"
 	"repro/internal/compile"
 	"repro/internal/interp"
 	"repro/internal/parser"
@@ -42,6 +43,8 @@ type Program struct {
 	vmOnce      sync.Once
 	bytecode    *vm.Program // lazily built by the vm backend
 	bytecodeErr error
+	auditOnce   sync.Once
+	audit       backend.Audit // lazily computed determinism audit
 }
 
 // Parse parses and checks LOLCODE source. file is used in diagnostics.

@@ -156,3 +156,18 @@ func TestListings(t *testing.T) {
 		t.Error("unknown listing accepted")
 	}
 }
+
+// TestServeZipfIdenticalBodies runs the hot-key batch scenario small:
+// ServeZipf itself errors if any job fails, if one program answers two
+// different bodies within a phase, or if the cached and uncached phases
+// disagree — so a nil error IS the correctness assertion. Throughput
+// numbers are reported, not asserted: CI machines are not benchmarks.
+func TestServeZipfIdenticalBodies(t *testing.T) {
+	var out strings.Builder
+	if err := ServeZipf(&out, 4, 20, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "speedup:") {
+		t.Errorf("report is missing the speedup line:\n%s", out.String())
+	}
+}

@@ -38,6 +38,12 @@ func Serve(w io.Writer, clients, requests, workers int) error {
 		Workers:    workers,
 		QueueDepth: clients * 4,
 		CacheSize:  64,
+		// This scenario measures the execution/pool path: with the
+		// result cache on, the repeating (src, backend, np, seed) tuples
+		// would degenerate into lookups and the latency numbers would
+		// stop meaning what the doc comment says. ServeZipf is the
+		// designated cache-on measurement.
+		ResultCacheSize: -1,
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

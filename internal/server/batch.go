@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// BatchRequest is one POST /v1/batch body: a whole assignment's worth of
+// jobs submitted in one round trip. Each job is an ordinary RunRequest;
+// jobs are independent and may use different programs, backends, and PE
+// counts.
+type BatchRequest struct {
+	Jobs []RunRequest `json:"jobs"`
+}
+
+// BatchItem is one line of the streaming NDJSON batch response: the
+// job's index in the submitted slice plus its full RunResponse. Items
+// stream in completion order, not submission order — the index is how
+// the client reassembles them.
+type BatchItem struct {
+	Index int `json:"index"`
+	RunResponse
+}
+
+// batchParallelism bounds how many of one batch's jobs are in flight at
+// once. Twice the worker count keeps every worker fed while leaving
+// headroom for jobs that resolve without a worker at all (result-cache
+// hits and coalesced duplicates, the common case for the classroom
+// workload of many identical submissions).
+func (s *Server) batchParallelism() int {
+	p := 2 * s.opts.Workers
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+// RunBatch executes jobs concurrently and streams each result as it
+// completes. Every job is admitted through the same fairness pool,
+// result cache, and budgets as a /v1/run submission — a batch buys one
+// round trip and in-flight coalescing of its own duplicates, not a
+// bigger resource share. The returned channel is closed after the last
+// item; the caller must drain it. Cancelling ctx tears down the jobs
+// still running (they report OutcomeCancelled).
+func (s *Server) RunBatch(ctx context.Context, jobs []RunRequest) <-chan BatchItem {
+	s.batchesRun.Add(1)
+	out := make(chan BatchItem)
+	go func() {
+		defer close(out)
+		sem := make(chan struct{}, s.batchParallelism())
+		var wg sync.WaitGroup
+		for i := range jobs {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				out <- BatchItem{Index: i, RunResponse: s.Run(ctx, jobs[i])}
+			}(i)
+		}
+		wg.Wait()
+	}()
+	return out
+}

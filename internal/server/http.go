@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -11,6 +12,7 @@ import (
 // Handler returns the HTTP API:
 //
 //	POST /v1/run      run a program (RunRequest JSON in, RunResponse JSON out)
+//	POST /v1/batch    run a list of jobs (BatchRequest in, NDJSON BatchItems out)
 //	GET  /v1/stats    server, cache, and queue counters
 //	GET  /v1/backends registered engine names
 //	GET  /v1/healthz  liveness probe
@@ -18,10 +20,14 @@ import (
 // Job outcomes (runtime error, budget kill, timeout) are reported in the
 // 200 response body — the request was served; the program failed. Only
 // protocol-level problems map to error statuses: malformed JSON is 400,
-// an invalid or oversized request is 422, a saturated queue is 429.
+// an invalid or oversized request is 422, a saturated queue is 429. For
+// /v1/batch the protocol check covers only the envelope (parseable JSON,
+// 1..MaxBatchJobs jobs); per-job problems, including rejections, ride in
+// that job's streamed item.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -38,7 +44,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// precise limit is enforced on the decoded src by validate.
 	body := http.MaxBytesReader(w, r.Body, 2*int64(s.opts.MaxSrcBytes)+64<<10)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, RunResponse{
+		writeJSON(w, decodeStatus(err), RunResponse{
 			Outcome: OutcomeRejected,
 			Error:   fmt.Sprintf("decoding request: %v", err),
 		})
@@ -48,6 +54,63 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// the job down and releases its PEs.
 	resp := s.Run(r.Context(), req)
 	writeJSON(w, statusFor(resp.Outcome, resp.Error), resp)
+}
+
+// handleBatch streams one NDJSON line per job as it completes. The 200
+// status is committed before any job runs, so job failures cannot change
+// it — exactly like /v1/run, a failed program is a served request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, int64(s.opts.MaxBatchBytes))
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, decodeStatus(err), RunResponse{
+			Outcome: OutcomeRejected,
+			Error:   fmt.Sprintf("decoding batch request: %v", err),
+		})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, RunResponse{
+			Outcome: OutcomeRejected, Error: "batch has no jobs",
+		})
+		return
+	}
+	if len(req.Jobs) > s.opts.MaxBatchJobs {
+		writeJSON(w, http.StatusUnprocessableEntity, RunResponse{
+			Outcome: OutcomeRejected,
+			Error:   fmt.Sprintf("batch has %d jobs (limit %d)", len(req.Jobs), s.opts.MaxBatchJobs),
+		})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	// Drain the channel fully even if the client goes away mid-stream:
+	// r.Context() cancels the remaining jobs, and the writes fail
+	// harmlessly — but the producer goroutines must not be left blocked.
+	for item := range s.RunBatch(r.Context(), req.Jobs) {
+		if err := enc.Encode(item); err != nil {
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// decodeStatus distinguishes the two ways a request body can fail to
+// decode: over the size limit is an invalid request (422, matching the
+// documented oversized-request contract), anything else is malformed
+// JSON (400).
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
 }
 
 func statusFor(o Outcome, errMsg string) int {

@@ -8,9 +8,21 @@
 // LOOP, a PE that never reaches HUGZ) is killed and its PEs released
 // instead of wedging a worker.
 //
+// Above the program cache sits a second layer: a deterministic result
+// cache keyed by (program sha256, backend, NP, seed, clamped budgets,
+// stdin), with singleflight coalescing of identical in-flight jobs. A
+// run may only be stored and replayed when its determinism audit passes
+// (backend.Audit — no stdin arbitration, shared state, or locks at
+// NP>1), output was grouped, and the run completed ok and untruncated;
+// everything else falls through to execution. Clients may also submit a
+// whole list of jobs as one batch (Server.RunBatch, POST /v1/batch),
+// streamed back as NDJSON in completion order through the same fairness
+// pool and budgets.
+//
 // The paper's toolchain stops at a batch launcher (coprsh/aprun); this
 // package is the repository's answer to the ROADMAP's production-service
-// north star: the same three engines, behind an API that survives
+// north star: the same three engines, behind an API that serves a
+// course's worth of identical submissions at lookup speed and survives
 // concurrent untrusted traffic.
 package server
 
@@ -39,6 +51,17 @@ type Options struct {
 	QueueDepth int
 	// CacheSize bounds the compiled-program LRU (default 128 programs).
 	CacheSize int
+	// ResultCacheSize bounds the deterministic-result LRU (default 512
+	// entries, counting stored results and bypass markers alike). A
+	// negative value disables result caching entirely: every job
+	// executes. Only jobs whose determinism audit passes are ever
+	// stored; see backend.Audit.
+	ResultCacheSize int
+	// MaxBatchJobs caps the number of jobs one /v1/batch request may
+	// carry (default 256).
+	MaxBatchJobs int
+	// MaxBatchBytes caps the /v1/batch request body (default 16 MiB).
+	MaxBatchBytes int
 	// MaxNP caps the per-job PE count (default 64).
 	MaxNP int
 	// MaxSrcBytes caps program size (default 1 MiB).
@@ -68,6 +91,15 @@ func (o *Options) withDefaults() Options {
 	if out.CacheSize <= 0 {
 		out.CacheSize = 128
 	}
+	if out.ResultCacheSize == 0 {
+		out.ResultCacheSize = 512
+	}
+	if out.MaxBatchJobs <= 0 {
+		out.MaxBatchJobs = 256
+	}
+	if out.MaxBatchBytes <= 0 {
+		out.MaxBatchBytes = 16 << 20
+	}
 	if out.MaxNP <= 0 {
 		out.MaxNP = 64
 	}
@@ -94,25 +126,31 @@ func (o *Options) withDefaults() Options {
 
 // Server executes LOLCODE jobs. Create with New; safe for concurrent use.
 type Server struct {
-	opts  Options
-	cache *Cache
-	pool  *pool
+	opts    Options
+	cache   *Cache
+	results *resultCache // nil when result caching is disabled
+	pool    *pool
 
 	jobsRun      atomic.Int64
 	jobsOK       atomic.Int64
 	jobsFailed   atomic.Int64
 	jobsRejected atomic.Int64
+	batchesRun   atomic.Int64
 	inFlight     atomic.Int64
 }
 
 // New builds a Server.
 func New(opts Options) *Server {
 	o := opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:  o,
 		cache: NewCache(o.CacheSize),
 		pool:  newPool(o.Workers, o.QueueDepth),
 	}
+	if o.ResultCacheSize > 0 {
+		s.results = newResultCache(o.ResultCacheSize)
+	}
+	return s
 }
 
 // RunRequest is one job: a program plus its launch parameters.
@@ -163,6 +201,11 @@ type RunResponse struct {
 	NP      int    `json:"np"`
 	// CacheHit reports whether the compiled program came from the cache.
 	CacheHit bool `json:"cache_hit"`
+	// ResultCacheHit reports that the whole response was served from the
+	// deterministic result cache — either a stored result or an
+	// identical in-flight job this one coalesced onto — so no execution
+	// (and no worker slot) was spent on it.
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
 	// OutputTruncated reports that the job printed more than the server's
 	// per-job output budget; the tail was dropped.
 	OutputTruncated bool `json:"output_truncated,omitempty"`
@@ -178,16 +221,79 @@ type RunResponse struct {
 	SimNanos float64 `json:"sim_nanos,omitempty"`
 }
 
-// Run executes one job synchronously: validate, hit the program cache,
-// wait for a worker slot (fairly), run under deadline+budget, classify.
-// ctx is the client's context — cancel it and the job dies promptly, its
-// PEs released from any barrier or lock they block in.
+// Run executes one job synchronously: validate, consult the result
+// cache (a deterministic job identical to a stored or in-flight one is
+// answered without executing at all), hit the program cache, wait for a
+// worker slot (fairly), run under deadline+budget, classify. ctx is the
+// client's context — cancel it and the job dies promptly, its PEs
+// released from any barrier or lock they block in.
 func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 	if resp, ok := s.validate(&req); !ok {
 		s.jobsRejected.Add(1)
 		return resp
 	}
 	coreBackend, _ := core.ParseBackend(req.Backend) // validated above
+	timeout := clampDuration(time.Duration(req.TimeoutMS)*time.Millisecond,
+		s.opts.DefaultTimeout, s.opts.MaxTimeout)
+	steps := clampInt64(req.MaxSteps, s.opts.DefaultStepBudget, s.opts.MaxStepBudget)
+
+	if s.results == nil {
+		resp, _ := s.execute(ctx, req, coreBackend, timeout, steps)
+		return resp
+	}
+
+	// Result-cache front door. The key covers everything that can change
+	// the response bytes of a deterministic job; whether the job IS
+	// deterministic is only known after the frontend runs, so a first
+	// sight claims the key optimistically and resolves the claim below.
+	rkey := resultKeyOf(KeyOf(req.Src), coreBackend.String(), req.NP,
+		req.Seed, steps, timeout, req.Stdin)
+	qStart := time.Now()
+	cached, claim, err := s.results.acquire(ctx, rkey)
+	switch {
+	case err != nil: // client went away while coalesced onto a leader
+		return RunResponse{
+			Backend: coreBackend.String(), NP: req.NP,
+			Outcome: OutcomeCancelled, Error: err.Error(),
+			QueueMS: msSince(qStart),
+		}
+	case cached != nil:
+		cached.ResultCacheHit = true
+		cached.WallMS = 0
+		cached.QueueMS = msSince(qStart)
+		return *cached
+	case claim == nil: // bypass-marked: known non-cacheable, just run
+		resp, _ := s.execute(ctx, req, coreBackend, timeout, steps)
+		return resp
+	}
+
+	resp, cacheable := s.execute(ctx, req, coreBackend, timeout, steps)
+	switch {
+	case resp.Outcome == OutcomeRejected || resp.Outcome == OutcomeCancelled:
+		// The job never really ran; leave the key unresolved for the
+		// next request (and let coalesced waiters elect a new leader).
+		claim.abandon()
+	case resp.Outcome == OutcomeParseError || !cacheable:
+		// Deterministically uncacheable: mark the key so equal jobs skip
+		// the result cache (and are never serialized behind each other).
+		claim.bypass()
+	case resp.Outcome == OutcomeOK && !resp.OutputTruncated:
+		claim.fulfill(&resp)
+	default:
+		// Cacheable program, unstorable run: budget kill, timeout,
+		// runtime error, or truncated output. Count the miss, forget the
+		// key, let the next identical job try again.
+		claim.abandonMiss()
+	}
+	return resp
+}
+
+// execute runs one validated job to completion on a worker slot. The
+// second return reports whether the job passed the determinism audit —
+// i.e. whether an identical future job could be answered from this
+// run's result.
+func (s *Server) execute(ctx context.Context, req RunRequest, coreBackend core.Backend,
+	timeout time.Duration, steps int64) (RunResponse, bool) {
 	resp := RunResponse{Backend: coreBackend.String(), NP: req.NP}
 
 	// Admission first: parse+sema runs inside the worker slot too, so a
@@ -204,7 +310,7 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 			resp.Outcome = OutcomeCancelled
 		}
 		resp.Error = err.Error()
-		return resp
+		return resp, false
 	}
 	defer s.pool.release()
 	resp.QueueMS = msSince(qStart)
@@ -216,11 +322,9 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 		s.jobsRejected.Add(1)
 		resp.Outcome = OutcomeParseError
 		resp.Error = err.Error()
-		return resp
+		return resp, false
 	}
 
-	timeout := clampDuration(time.Duration(req.TimeoutMS)*time.Millisecond,
-		s.opts.DefaultTimeout, s.opts.MaxTimeout)
 	jobCtx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
@@ -233,9 +337,13 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 		Stdin:       strings.NewReader(req.Stdin),
 		GroupOutput: true,
 		Context:     jobCtx,
-		StepBudget:  clampInt64(req.MaxSteps, s.opts.DefaultStepBudget, s.opts.MaxStepBudget),
+		StepBudget:  steps,
 		MaxOutput:   s.opts.MaxOutputBytes,
 	}
+	// The cacheability verdict: the program must be audited schedule-
+	// independent at this PE count, and the output discipline must make
+	// the merged streams deterministic (grouped mode always is).
+	cacheable := prog.Audit().DeterministicAt(req.NP) && cfg.DeterministicOutput()
 
 	s.jobsRun.Add(1)
 	s.inFlight.Add(1)
@@ -254,7 +362,7 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 		s.jobsFailed.Add(1)
 		resp.Outcome = classify(runErr, ctx)
 		resp.Error = runErr.Error()
-		return resp
+		return resp, cacheable
 	}
 	s.jobsOK.Add(1)
 	resp.Outcome = OutcomeOK
@@ -267,7 +375,7 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 			}
 		}
 	}
-	return resp
+	return resp, cacheable
 }
 
 // validate normalizes the request in place and builds the rejection
@@ -316,29 +424,38 @@ func classify(err error, clientCtx context.Context) Outcome {
 }
 
 // Stats is the server-wide counter snapshot served at /v1/stats.
+// JobsRun counts executions; requests answered by the result cache
+// never execute, so they appear only under ResultCache.
 type Stats struct {
-	Cache        CacheStats `json:"cache"`
-	JobsRun      int64      `json:"jobs_run"`
-	JobsOK       int64      `json:"jobs_ok"`
-	JobsFailed   int64      `json:"jobs_failed"`
-	JobsRejected int64      `json:"jobs_rejected"`
-	InFlight     int64      `json:"in_flight"`
-	Queued       int64      `json:"queued"`
-	Workers      int        `json:"workers"`
+	Cache        CacheStats       `json:"cache"`
+	ResultCache  ResultCacheStats `json:"result_cache"`
+	JobsRun      int64            `json:"jobs_run"`
+	JobsOK       int64            `json:"jobs_ok"`
+	JobsFailed   int64            `json:"jobs_failed"`
+	JobsRejected int64            `json:"jobs_rejected"`
+	BatchesRun   int64            `json:"batches_run"`
+	InFlight     int64            `json:"in_flight"`
+	Queued       int64            `json:"queued"`
+	Workers      int              `json:"workers"`
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Cache:        s.cache.Stats(),
 		JobsRun:      s.jobsRun.Load(),
 		JobsOK:       s.jobsOK.Load(),
 		JobsFailed:   s.jobsFailed.Load(),
 		JobsRejected: s.jobsRejected.Load(),
+		BatchesRun:   s.batchesRun.Load(),
 		InFlight:     s.inFlight.Load(),
 		Queued:       int64(s.pool.depth()),
 		Workers:      s.opts.Workers,
 	}
+	if s.results != nil {
+		st.ResultCache = s.results.Stats()
+	}
+	return st
 }
 
 func clampDuration(v, def, max time.Duration) time.Duration {

@@ -120,34 +120,48 @@ func TestRunOutcomes(t *testing.T) {
 	}
 }
 
-// TestCacheHitServesIdenticalOutput runs the same program twice and checks
-// the second run is a cache hit with byte-identical output.
+// TestCacheHitServesIdenticalOutput runs the same program three ways:
+// an identical resubmission must be answered by the result cache
+// without executing, and a different-seed resubmission (a distinct job
+// of the same program) must re-execute but hit the program cache.
 func TestCacheHitServesIdenticalOutput(t *testing.T) {
 	s := New(Options{Workers: 2})
 	req := RunRequest{Src: helloSrc, NP: 4, Seed: 7}
 
 	first := s.Run(context.Background(), req)
-	if first.Outcome != OutcomeOK || first.CacheHit {
-		t.Fatalf("first run: outcome=%q cacheHit=%v, want ok/miss", first.Outcome, first.CacheHit)
+	if first.Outcome != OutcomeOK || first.CacheHit || first.ResultCacheHit {
+		t.Fatalf("first run: %+v, want ok and both caches cold", first)
 	}
 	second := s.Run(context.Background(), req)
-	if second.Outcome != OutcomeOK || !second.CacheHit {
-		t.Fatalf("second run: outcome=%q cacheHit=%v, want ok/hit", second.Outcome, second.CacheHit)
+	if second.Outcome != OutcomeOK || !second.ResultCacheHit {
+		t.Fatalf("second run: outcome=%q resultCacheHit=%v, want ok served from result cache",
+			second.Outcome, second.ResultCacheHit)
 	}
 	if first.Output != second.Output {
-		t.Errorf("cache hit changed output: %q vs %q", first.Output, second.Output)
+		t.Errorf("result-cache hit changed output: %q vs %q", first.Output, second.Output)
 	}
-	cs := s.cache.Stats()
-	if cs.Hits != 1 || cs.Misses != 1 {
-		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", cs)
+	reseeded := s.Run(context.Background(), RunRequest{Src: helloSrc, NP: 4, Seed: 8})
+	if reseeded.Outcome != OutcomeOK || !reseeded.CacheHit || reseeded.ResultCacheHit {
+		t.Fatalf("reseeded run: %+v, want ok, program-cache hit, result-cache miss", reseeded)
+	}
+	if cs := s.cache.Stats(); cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("program cache stats = %+v, want 1 hit / 1 miss", cs)
+	}
+	if rs := s.results.Stats(); rs.Hits != 1 || rs.Misses != 2 {
+		t.Errorf("result cache stats = %+v, want 1 hit / 2 misses", rs)
+	}
+	if st := s.Stats(); st.JobsRun != 2 {
+		t.Errorf("jobs_run = %d, want 2 (the hit must not execute)", st.JobsRun)
 	}
 }
 
 // TestConcurrentMixedBackendJobs hammers one server with a mix of programs
 // and backends from many goroutines; run under -race in CI. Every job must
 // land the deterministic output for its seed regardless of interleaving.
+// The result cache is disabled so every request truly executes; the
+// cache-on concurrency story is TestStressRunAndBatch.
 func TestConcurrentMixedBackendJobs(t *testing.T) {
-	s := New(Options{Workers: 4, QueueDepth: 256, CacheSize: 8})
+	s := New(Options{Workers: 4, QueueDepth: 256, CacheSize: 8, ResultCacheSize: -1})
 	type want struct {
 		req RunRequest
 		out string

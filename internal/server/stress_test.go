@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postJSON posts v and decodes the response into out. It returns errors
+// rather than failing the test: it is called from client goroutines,
+// where t.Fatal is off-limits (FailNow must run on the test goroutine).
+func postJSON(client *http.Client, url string, v, out any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decoding %s response: %w", url, err)
+	}
+	return resp.StatusCode, nil
+}
+
+// TestStressRunAndBatch is the race-mode stress satellite: N concurrent
+// clients hammer /v1/run and /v1/batch with M distinct deterministic
+// programs. Afterwards: no lost or duplicated responses (every job got
+// exactly one, with the right output), and the result-cache accounting
+// closes exactly — hits + misses + coalesced == jobs, since every job
+// here is cacheable and nothing is rejected.
+func TestStressRunAndBatch(t *testing.T) {
+	const (
+		clients  = 8
+		rounds   = 6
+		batchLen = 5
+	)
+	s := New(Options{Workers: 4, QueueDepth: 1024, MaxNP: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// M distinct jobs: pure compute, varying bound/NP/backend, all
+	// audited deterministic. want[i] is computed locally so the server
+	// cannot grade its own homework.
+	type jobSpec struct {
+		req  RunRequest
+		want string
+	}
+	sum := func(bound int) int { return bound * (bound - 1) / 2 }
+	var jobs []jobSpec
+	for i, backendName := range []string{"interp", "vm", "compile"} {
+		for j, np := range []int{1, 2, 4} {
+			bound := 100 + 31*i + 7*j
+			line := fmt.Sprintf("%d\n", sum(bound))
+			jobs = append(jobs, jobSpec{
+				req:  RunRequest{Src: sumSrc(bound), NP: np, Backend: backendName},
+				want: strings.Repeat(line, np),
+			})
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		responses = make(map[int]int) // job index -> responses received
+		failures  []string
+	)
+	record := func(idx int, resp RunResponse) {
+		mu.Lock()
+		defer mu.Unlock()
+		responses[idx]++
+		if resp.Outcome != OutcomeOK {
+			failures = append(failures, fmt.Sprintf("job %d: outcome %q (%s)", idx, resp.Outcome, resp.Error))
+		} else if resp.Output != jobs[idx].want {
+			failures = append(failures, fmt.Sprintf("job %d: output %q, want %q", idx, resp.Output, jobs[idx].want))
+		}
+	}
+
+	var wg sync.WaitGroup
+	perClientJobs := 0
+	for c := 0; c < clients; c++ {
+		// Every client runs the same deterministic schedule: each round,
+		// one /v1/run of a rotating job plus one batch of batchLen
+		// rotating jobs (duplicates across clients and rounds on
+		// purpose — that is what the cache and coalescer are for).
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				idx := (c + r) % len(jobs)
+				var single RunResponse
+				code, err := postJSON(client, ts.URL+"/v1/run", jobs[idx].req, &single)
+				if err != nil || code != http.StatusOK {
+					t.Errorf("client %d round %d: /v1/run status %d err %v", c, r, code, err)
+					continue
+				}
+				record(idx, single)
+
+				batch := BatchRequest{}
+				var idxs []int
+				for k := 0; k < batchLen; k++ {
+					j := (c*rounds + r + k) % len(jobs)
+					idxs = append(idxs, j)
+					batch.Jobs = append(batch.Jobs, jobs[j].req)
+				}
+				body, _ := json.Marshal(batch)
+				resp, err := client.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d round %d: batch: %v", c, r, err)
+					continue
+				}
+				seen := make(map[int]bool)
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+				for sc.Scan() {
+					var item BatchItem
+					if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+						t.Errorf("client %d round %d: bad NDJSON line %q: %v", c, r, sc.Text(), err)
+						continue
+					}
+					if item.Index < 0 || item.Index >= len(idxs) || seen[item.Index] {
+						t.Errorf("client %d round %d: duplicate or out-of-range batch index %d", c, r, item.Index)
+						continue
+					}
+					seen[item.Index] = true
+					record(idxs[item.Index], item.RunResponse)
+				}
+				resp.Body.Close()
+				if err := sc.Err(); err != nil {
+					t.Errorf("client %d round %d: reading batch stream: %v", c, r, err)
+				}
+				if len(seen) != len(idxs) {
+					t.Errorf("client %d round %d: got %d batch items, want %d", c, r, len(seen), len(idxs))
+				}
+			}
+		}(c)
+	}
+	perClientJobs = rounds * (1 + batchLen)
+	wg.Wait()
+
+	for _, f := range failures {
+		t.Error(f)
+	}
+	total := 0
+	for _, n := range responses {
+		total += n
+	}
+	wantTotal := clients * perClientJobs
+	if total != wantTotal {
+		t.Errorf("received %d responses, want %d (lost or duplicated)", total, wantTotal)
+	}
+
+	st := s.Stats()
+	if st.JobsRejected != 0 {
+		t.Fatalf("%d jobs rejected; the accounting below assumes none", st.JobsRejected)
+	}
+	rc := st.ResultCache
+	if got := rc.Hits + rc.Misses + rc.Coalesced; got != int64(wantTotal) {
+		t.Errorf("hits(%d) + misses(%d) + coalesced(%d) = %d, want %d requests",
+			rc.Hits, rc.Misses, rc.Coalesced, got, wantTotal)
+	}
+	if rc.Bypassed != 0 {
+		t.Errorf("bypassed = %d on all-cacheable traffic", rc.Bypassed)
+	}
+	// Sanity: the cache must have actually absorbed work — with
+	// clients*rounds duplicates of len(jobs) distinct jobs, executions
+	// should be far below requests.
+	if st.JobsRun >= int64(wantTotal) {
+		t.Errorf("jobs_run = %d of %d requests; the result cache absorbed nothing", st.JobsRun, wantTotal)
+	}
+}
+
+// TestGracefulDrainLosesNothing starts a real http.Server, puts jobs in
+// flight, then calls Shutdown concurrently: every request that was
+// accepted must still complete with a full, correct response — drain
+// must not drop or clip in-flight work.
+func TestGracefulDrainLosesNothing(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 256})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Slow enough that Shutdown overlaps execution, fast enough for CI.
+	req := RunRequest{Src: sumSrc(200_000), NP: 2}
+	want := ""
+
+	const inFlight = 6
+	results := make(chan RunResponse, inFlight)
+	errs := make(chan error, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := req
+			r.Seed = int64(i) // distinct keys: all six must truly execute
+			body, _ := json.Marshal(r)
+			resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var rr RunResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				errs <- fmt.Errorf("request %d: truncated response: %w", i, err)
+				return
+			}
+			results <- rr
+		}(i)
+	}
+
+	// Let the requests reach the server, then start draining while they
+	// are still executing.
+	time.Sleep(50 * time.Millisecond)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	close(errs)
+
+	for err := range errs {
+		t.Errorf("in-flight request lost during drain: %v", err)
+	}
+	got := 0
+	for rr := range results {
+		got++
+		if rr.Outcome != OutcomeOK {
+			t.Errorf("drained job outcome %q (%s), want ok", rr.Outcome, rr.Error)
+			continue
+		}
+		if want == "" {
+			want = rr.Output
+		} else if rr.Output != want {
+			t.Errorf("drained job output %q, want %q", rr.Output, want)
+		}
+	}
+	if got != inFlight {
+		t.Errorf("%d/%d in-flight requests completed through the drain", got, inFlight)
+	}
+}
+
+// TestBatchHTTPProtocol checks the /v1/batch envelope rules: malformed
+// JSON is 400, an empty or oversized batch is 422, and a well-formed
+// batch streams exactly one NDJSON item per job with every index
+// present.
+func TestBatchHTTPProtocol(t *testing.T) {
+	s := New(Options{Workers: 2, MaxBatchJobs: 4, MaxBatchBytes: 512})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := post("{"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp := post(`{"jobs":[]}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("empty batch: status %d, want 422", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	big, _ := json.Marshal(BatchRequest{Jobs: make([]RunRequest, 5)})
+	if resp := post(string(big)); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("oversized batch: status %d, want 422", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	fat, _ := json.Marshal(BatchRequest{Jobs: []RunRequest{{Src: strings.Repeat("BTW\n", 200)}}})
+	if resp := post(string(fat)); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("over-byte-limit batch: status %d, want 422 (not a generic 400)", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	batch := BatchRequest{Jobs: []RunRequest{
+		{Src: sumSrc(10)},
+		{Src: "HAI 1.2\nVISIBLE \"broken", NP: 1}, // parse error rides in its item
+		{Src: sumSrc(12), NP: 2, Backend: "vm"},
+	}}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	items := map[int]BatchItem{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var item BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if _, dup := items[item.Index]; dup {
+			t.Fatalf("duplicate index %d in batch stream", item.Index)
+		}
+		items[item.Index] = item
+	}
+	if len(items) != len(batch.Jobs) {
+		t.Fatalf("got %d items, want %d", len(items), len(batch.Jobs))
+	}
+	if items[0].Outcome != OutcomeOK || items[2].Outcome != OutcomeOK {
+		t.Errorf("good jobs: outcomes %q/%q, want ok", items[0].Outcome, items[2].Outcome)
+	}
+	if items[1].Outcome != OutcomeParseError {
+		t.Errorf("broken job: outcome %q, want parse_error", items[1].Outcome)
+	}
+}
