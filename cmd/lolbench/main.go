@@ -15,13 +15,21 @@
 //	lolbench toolchain                     E3: lcc -> Go over testdata/
 //	lolbench serve [-clients 8] [-reqs 50] lolserv load test: req/s, cache, p50/p99
 //	lolbench serve -scenario zipf          hot-key /v1/batch load, result cache on/off
+//	lolbench serve -scenario promote       native-tier promotion vs -native-threshold=0
 //	lolbench all                           everything above
+//
+// With -bench-json DIR, the serve scenarios merge their metrics into
+// DIR/BENCH_serve.json (keyed by scenario) and `lolbench backends`
+// writes DIR/BENCH_backend.json — the machine-readable artifacts CI
+// uploads alongside the human-readable report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/experiments"
 )
@@ -34,7 +42,8 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent clients for the serve experiment")
 	reqs := flag.Int("reqs", 50, "requests per client for the serve experiment")
 	workers := flag.Int("workers", 4, "server worker slots for the serve experiment")
-	scenario := flag.String("scenario", "mixed", "serve scenario: mixed (per-request load) or zipf (hot-key batches, cache on vs off)")
+	scenario := flag.String("scenario", "mixed", "serve scenario: mixed (per-request load), zipf (hot-key batches, cache on vs off), or promote (native tier vs threshold 0)")
+	benchJSON := flag.String("bench-json", "", "directory to write BENCH_serve.json / BENCH_backend.json into (empty = don't)")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
 		usage()
@@ -67,7 +76,10 @@ func main() {
 	case "listingA", "listingB", "listingC", "listingD":
 		err = experiments.Listings(w, *dir, *np, cmd[len("listing"):])
 	case "backends":
-		_, err = experiments.Backends(w)
+		var rows []experiments.BackendsResult
+		if rows, err = experiments.Backends(w); err == nil && *benchJSON != "" {
+			err = writeBenchBackend(*benchJSON, rows)
+		}
 	case "scaling":
 		_, err = experiments.Scaling(w, []int{1, 2, 4, 8, 16}, []int{32, 64, 128})
 	case "barriers":
@@ -81,14 +93,20 @@ func main() {
 	case "toolchain":
 		err = experiments.Toolchain(w, *dir)
 	case "serve":
+		var m *experiments.ServeMetrics
 		switch *scenario {
 		case "zipf":
-			err = experiments.ServeZipf(w, *clients, *reqs, *workers)
+			m, err = experiments.ServeZipf(w, *clients, *reqs, *workers)
+		case "promote":
+			m, err = experiments.ServePromote(w, *clients, *reqs, *workers)
 		case "mixed", "":
-			err = experiments.Serve(w, *clients, *reqs, *workers)
+			m, err = experiments.Serve(w, *clients, *reqs, *workers)
 		default:
-			fmt.Fprintf(os.Stderr, "lolbench: unknown serve scenario %q (want mixed or zipf)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "lolbench: unknown serve scenario %q (want mixed, zipf, or promote)\n", *scenario)
 			os.Exit(2)
+		}
+		if err == nil && m != nil && *benchJSON != "" {
+			err = writeBenchServe(*benchJSON, m)
 		}
 	case "all":
 		err = runAll(w, *dir, *np, *trials)
@@ -125,8 +143,9 @@ func runAll(w *os.File, dir string, np, trials int) error {
 		func() error { return sep(w, experiments.RemoteAccess(w)) },
 		func() error { return sep(w, experiments.NocHeatmap(w, 16, 8, 2)) },
 		func() error { return sep(w, experiments.Toolchain(w, dir)) },
-		func() error { return sep(w, experiments.Serve(w, 8, 50, 4)) },
-		func() error { return sep(w, experiments.ServeZipf(w, 8, 50, 4)) },
+		func() error { _, err := experiments.Serve(w, 8, 50, 4); return sep(w, err) },
+		func() error { _, err := experiments.ServeZipf(w, 8, 50, 4); return sep(w, err) },
+		func() error { _, err := experiments.ServePromote(w, 8, 50, 4); return sep(w, err) },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {
@@ -134,6 +153,53 @@ func runAll(w *os.File, dir string, np, trials int) error {
 		}
 	}
 	return nil
+}
+
+// writeBenchServe merges one scenario's metrics into BENCH_serve.json,
+// preserving entries written by earlier invocations so CI can run the
+// scenarios as separate steps and upload one artifact.
+func writeBenchServe(dir string, m *experiments.ServeMetrics) error {
+	path := filepath.Join(dir, "BENCH_serve.json")
+	all := map[string]*experiments.ServeMetrics{}
+	if prev, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(prev, &all) // a corrupt file is overwritten
+	}
+	all[m.Scenario] = m
+	return writeJSONFile(path, all)
+}
+
+// benchBackendRow is the machine-readable form of one E1 comparison row.
+type benchBackendRow struct {
+	Workload  string  `json:"workload"`
+	InterpMS  float64 `json:"interp_ms"`
+	VMMS      float64 `json:"vm_ms"`
+	CompileMS float64 `json:"compile_ms"`
+	Speedup   float64 `json:"speedup_interp_over_compile"`
+}
+
+func writeBenchBackend(dir string, rows []experiments.BackendsResult) error {
+	out := make([]benchBackendRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, benchBackendRow{
+			Workload:  r.Workload,
+			InterpMS:  float64(r.Interp.Microseconds()) / 1000,
+			VMMS:      float64(r.VM.Microseconds()) / 1000,
+			CompileMS: float64(r.Compile.Microseconds()) / 1000,
+			Speedup:   r.Speedup(),
+		})
+	}
+	return writeJSONFile(filepath.Join(dir, "BENCH_backend.json"), out)
+}
+
+func writeJSONFile(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func sep(w *os.File, err error) error {
@@ -158,6 +224,8 @@ experiments:
   serve                         lolserv load test: req/s, cache hit rate, p50/p99
                                 (-scenario zipf: hot-key /v1/batch load, result
                                  cache on vs -result-cache=0, measured speedup)
+                                (-scenario promote: native-tier promotion of a hot
+                                 program vs -native-threshold=0, measured speedup)
   all                           run everything
 
 flags:

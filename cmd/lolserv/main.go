@@ -4,9 +4,13 @@
 // compiled artifacts from an LRU program cache and repeated
 // deterministic jobs from a result cache (disable with -result-cache=0),
 // and runs whatever must actually execute on a bounded worker pool under
-// enforced wall-clock and step budgets.
+// enforced wall-clock and step budgets. With -native-threshold set, hot
+// programs are additionally promoted in the background to standalone
+// gogen-compiled binaries and served as subprocesses — the fourth tier
+// of the execution ladder (see internal/server/README.md).
 //
 //	lolserv -addr :8404 -workers 8 -cache 256
+//	lolserv -native-threshold 3 -native-cache-dir /var/cache/lolserv
 //	curl -s localhost:8404/v1/run -d '{"src":"HAI 1.2\nVISIBLE ME\nKTHXBYE","np":4}'
 //
 // See internal/server/README.md for the API, cacheability, and budget
@@ -26,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/native"
 	"repro/internal/server"
 )
 
@@ -44,6 +49,11 @@ func run() int {
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-job wall-clock budget")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "largest wall-clock budget a job may request")
 	maxSteps := flag.Int64("max-steps", 500_000_000, "largest per-PE step budget a job may request")
+	nativeThreshold := flag.Int64("native-threshold", 0,
+		"program-cache hits before a program is promoted to a gogen-compiled binary (0 disables the native tier)")
+	nativeCacheDir := flag.String("native-cache-dir", "",
+		"directory for promoted binaries (default: lolserv-native under the OS temp dir)")
+	nativeBuilds := flag.Int("native-builds", 1, "concurrent background go builds for promotions")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lolserv [flags]\n")
 		flag.PrintDefaults()
@@ -58,6 +68,19 @@ func run() int {
 	if resultCacheSize == 0 {
 		resultCacheSize = -1 // flag 0 = off; Options 0 = default
 	}
+	// The native tier needs a go toolchain and a module checkout to build
+	// promoted binaries in; when either is missing the server warns and
+	// runs three-tiered rather than refusing to start.
+	var nativeCache *native.Cache
+	if *nativeThreshold > 0 {
+		var err error
+		if nativeCache, err = native.NewCache(*nativeCacheDir, ""); err != nil {
+			log.Printf("lolserv: native tier disabled: %v", err)
+		} else {
+			log.Printf("lolserv: native tier enabled (threshold=%d builds=%d cache=%s)",
+				*nativeThreshold, *nativeBuilds, nativeCache.Dir())
+		}
+	}
 	srv := server.New(server.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -68,7 +91,11 @@ func run() int {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		MaxStepBudget:   *maxSteps,
+		NativeCache:     nativeCache,
+		NativeThreshold: *nativeThreshold,
+		NativeBuilds:    *nativeBuilds,
 	})
+	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -106,6 +133,10 @@ func run() int {
 	if rc := st.ResultCache; rc.Enabled {
 		log.Printf("lolserv: result cache served %d of %d cacheable jobs without executing (%d hits, %d coalesced, %d misses, %d bypassed)",
 			rc.Hits+rc.Coalesced, rc.Hits+rc.Coalesced+rc.Misses, rc.Hits, rc.Coalesced, rc.Misses, rc.Bypassed)
+	}
+	if nt := st.Native; nt.Enabled {
+		log.Printf("lolserv: native tier ran %d jobs (%d promotions, %d unsupported, %d build failures, %d demotions, %d fallbacks)",
+			nt.Runs, nt.Promotions, nt.Unsupported, nt.BuildFailures, nt.Demotions, nt.Fallbacks)
 	}
 	return 0
 }

@@ -24,7 +24,15 @@
 //     slot-addressed bytecode VM, and a closure compiler (select one with
 //     `lolrun -backend=interp|vm|compile`);
 //   - internal/gogen: the LOLCODE-to-Go source emitter (the paper's lcc
-//     emitted C + OpenSHMEM);
+//     emitted C + OpenSHMEM), with a typed fast path that unboxes
+//     statically-known NUMBR/NUMBAR locals to raw Go scalars; emitted
+//     mains speak the internal/native/child protocol so they can serve
+//     as lolserv's fourth execution tier;
+//   - internal/native: the native tier's mechanics — an on-disk binary
+//     cache keyed by source sha256 + gogen version, and a subprocess
+//     runner that maps a job's budgets onto the child (context kill for
+//     deadlines, pipe caps for output) so untrusted promoted code is
+//     isolated by the OS, not by cooperative metering;
 //   - internal/server: the concurrent job-execution service — an LRU
 //     compiled-program cache (parse+sema+codegen once per unique program),
 //     a deterministic result cache with singleflight coalescing (identical
@@ -32,7 +40,10 @@
 //     passes — no GIMMEH arbitration, shared state, or locks at NP>1, see
 //     backend.Audit — and it completed ok, untruncated, under grouped
 //     output), a batch API, a bounded worker pool with a per-program
-//     fairness queue, and enforced per-job deadlines and step budgets;
+//     fairness queue, enforced per-job deadlines and step budgets, and
+//     the promotion policy of the four-tier execution ladder: programs
+//     whose cache hit count crosses a threshold are compiled in the
+//     background to standalone binaries and served as subprocesses;
 //   - cmd/lcc, lolrun, lolfmt, lolbench, lolserv: the toolchain, the SPMD
 //     launcher (coprsh/aprun analog), a formatter, the experiment harness,
 //     and the HTTP execution daemon (`lolbench serve` load-tests it).

@@ -164,10 +164,40 @@ func TestListings(t *testing.T) {
 // numbers are reported, not asserted: CI machines are not benchmarks.
 func TestServeZipfIdenticalBodies(t *testing.T) {
 	var out strings.Builder
-	if err := ServeZipf(&out, 4, 20, 2); err != nil {
+	m, err := ServeZipf(&out, 4, 20, 2)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "speedup:") {
 		t.Errorf("report is missing the speedup line:\n%s", out.String())
+	}
+	if m == nil || m.Scenario != "zipf" || m.ReqPerSec <= 0 {
+		t.Errorf("metrics not populated: %+v", m)
+	}
+}
+
+// TestServePromoteIdenticalBodies runs the native-promotion scenario
+// small. Like ServeZipf, a nil error IS the correctness assertion: the
+// scenario itself fails if promotion never lands, any job fails, or the
+// promoted phase answers a semantically different body for any seed.
+// Throughput is reported, not asserted — the 3x acceptance claim is for
+// benchmark-sized runs, not CI smoke. Skips without a go toolchain.
+func TestServePromoteIdenticalBodies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a native binary")
+	}
+	var out strings.Builder
+	m, err := ServePromote(&out, 2, 8, 2)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if m == nil { // toolchain unavailable: scenario reported itself skipped
+		if !strings.Contains(out.String(), "skipped") {
+			t.Errorf("nil metrics without a skip notice:\n%s", out.String())
+		}
+		return
+	}
+	if m.TierRates["native"] == 0 {
+		t.Errorf("no timed job ran on the native tier:\n%s", out.String())
 	}
 }

@@ -23,7 +23,8 @@ import (
 // ROADMAP's serve-heavy-traffic goal: the program cache should absorb
 // every frontend cost after the first sight of each program, and the
 // bounded worker pool should keep tail latency finite under saturation.
-func Serve(w io.Writer, clients, requests, workers int) error {
+// The returned metrics feed BENCH_serve.json (`lolbench serve -bench-json`).
+func Serve(w io.Writer, clients, requests, workers int) (*ServeMetrics, error) {
 	if clients <= 0 {
 		clients = 8
 	}
@@ -114,6 +115,17 @@ func Serve(w io.Writer, clients, requests, workers int) error {
 
 	st := srv.Stats()
 	total := clients * requests
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	m := &ServeMetrics{
+		Scenario: "mixed", Clients: clients, Requests: requests, Workers: workers,
+		ReqPerSec:           float64(total) / elapsed.Seconds(),
+		P50MS:               ms(quantile(latencies, 0.50)),
+		P90MS:               ms(quantile(latencies, 0.90)),
+		P99MS:               ms(quantile(latencies, 0.99)),
+		ProgramCacheHitRate: st.Cache.HitRate(),
+		TierRates:           tierRates(st),
+		Failures:            failures,
+	}
 	fmt.Fprintf(w, "serve — lolserv load experiment (the production-service side of §VI's launcher)\n")
 	fmt.Fprintf(w, "%-26s %d clients x %d requests, %d workers, %d distinct programs x %d backends\n",
 		"workload:", clients, requests, workers, len(programs), len(backends))
@@ -123,15 +135,14 @@ func Serve(w io.Writer, clients, requests, workers int) error {
 		"program cache hit rate:", 100*st.Cache.HitRate(), st.Cache.Hits, st.Cache.Hits+st.Cache.Misses,
 		st.Cache.Misses, st.Cache.Evicted)
 	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		fmt.Fprintf(w, "%-26s p50 %s   p90 %s   p99 %s   max %s\n", "request latency:",
 			quantile(latencies, 0.50), quantile(latencies, 0.90),
 			quantile(latencies, 0.99), latencies[len(latencies)-1].Round(time.Microsecond))
 	}
 	if firstErr != nil {
-		return fmt.Errorf("serve: %d/%d requests failed; first failure: %w", failures, total, firstErr)
+		return nil, fmt.Errorf("serve: %d/%d requests failed; first failure: %w", failures, total, firstErr)
 	}
-	return nil
+	return m, nil
 }
 
 func recordFailure(mu *sync.Mutex, failures *int, firstErr *error, err error) {

@@ -22,8 +22,9 @@ import (
 // workload runs twice, result cache on and off (`-result-cache=0`), and
 // the report is the measured multiplier plus a byte-level check that
 // both phases returned identical response bodies — the cache must buy
-// speed, never different answers.
-func ServeZipf(w io.Writer, clients, requests, workers int) error {
+// speed, never different answers. The returned metrics feed
+// BENCH_serve.json (`lolbench serve -bench-json`).
+func ServeZipf(w io.Writer, clients, requests, workers int) (*ServeMetrics, error) {
 	if clients <= 0 {
 		clients = 8
 	}
@@ -154,24 +155,31 @@ KTHXBYE`, 2000+1000*k)
 
 	cachedRPS, cachedBodies, cachedStats, err := runPhase(0 /* default size */)
 	if err != nil {
-		return fmt.Errorf("servezipf (cache on): %w", err)
+		return nil, fmt.Errorf("servezipf (cache on): %w", err)
 	}
 	plainRPS, plainBodies, plainStats, err := runPhase(-1 /* -result-cache=0 */)
 	if err != nil {
-		return fmt.Errorf("servezipf (cache off): %w", err)
+		return nil, fmt.Errorf("servezipf (cache off): %w", err)
 	}
 
 	// The correctness half of the claim: caching must be invisible in
 	// the bytes.
 	for prog, want := range plainBodies {
 		if got, ok := cachedBodies[prog]; !ok || got != want {
-			return fmt.Errorf("servezipf: program %d: cached body differs from uncached execution\ncached:   %+v\nuncached: %+v",
+			return nil, fmt.Errorf("servezipf: program %d: cached body differs from uncached execution\ncached:   %+v\nuncached: %+v",
 				prog, cachedBodies[prog], want)
 		}
 	}
 
 	rc := cachedStats.ResultCache
 	total := int64(clients * requests)
+	m := &ServeMetrics{
+		Scenario: "zipf", Clients: clients, Requests: requests, Workers: workers,
+		ReqPerSec: cachedRPS, BaselineReqPerSec: plainRPS, Speedup: cachedRPS / plainRPS,
+		ProgramCacheHitRate: cachedStats.Cache.HitRate(),
+		ResultCacheHitRate:  rc.HitRate(),
+		TierRates:           tierRates(cachedStats),
+	}
 	fmt.Fprintf(w, "servezipf — hot-key batch workload over /v1/batch (result cache on vs -result-cache=0)\n")
 	fmt.Fprintf(w, "%-26s %d clients x %d jobs in batches of %d; zipf(1.4) over %d programs x NP{1,2,3}; %d workers\n",
 		"workload:", clients, requests, batchLen, nProgs, workers)
@@ -180,5 +188,5 @@ KTHXBYE`, 2000+1000*k)
 	fmt.Fprintf(w, "%-26s %d hits + %d coalesced + %d misses over %d jobs (%.1f%% served without executing; %d executions vs %d uncached)\n",
 		"result cache:", rc.Hits, rc.Coalesced, rc.Misses, total,
 		100*float64(rc.Hits+rc.Coalesced)/float64(total), cachedStats.JobsRun, plainStats.JobsRun)
-	return nil
+	return m, nil
 }

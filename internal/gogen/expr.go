@@ -83,9 +83,15 @@ func (g *gen) expr(e ast.Expr) (string, error) {
 		return g.readIndex(n)
 
 	case *ast.BinExpr:
+		if code, ok, err := g.tryRawBox(n); ok || err != nil {
+			return code, err
+		}
 		return g.binExpr(n)
 
 	case *ast.UnExpr:
+		if code, ok, err := g.tryRawBox(n); ok || err != nil {
+			return code, err
+		}
 		x, err := g.expr(n.X)
 		if err != nil {
 			return "", err
@@ -109,8 +115,8 @@ func (g *gen) expr(e ast.Expr) (string, error) {
 		return t, nil
 
 	case *ast.Call:
-		args := make([]string, 0, len(n.Args)+1)
-		args = append(args, "pe")
+		args := make([]string, 0, len(n.Args)+2)
+		args = append(args, "pe", "peio")
 		for _, a := range n.Args {
 			v, err := g.expr(a)
 			if err != nil {
@@ -283,6 +289,12 @@ func (g *gen) readVar(n *ast.VarRef) (string, error) {
 		return "", err
 	}
 	if sym.Kind != sema.SymShared {
+		switch g.reps[sym] {
+		case repInt:
+			return fmt.Sprintf("value.NewNumbr(%s)", goName(sym)), nil
+		case repFloat:
+			return fmt.Sprintf("value.NewNumbar(%s)", goName(sym)), nil
+		}
 		return goName(sym), nil
 	}
 
@@ -306,18 +318,35 @@ func (g *gen) readVar(n *ast.VarRef) (string, error) {
 	return t, nil
 }
 
-func (g *gen) readIndex(n *ast.Index) (string, error) {
-	sym, err := g.symFor(n.Arr)
-	if err != nil {
-		return "", err
+// indexExpr emits an array index as a raw int64 expression; statically
+// numeric indexes skip the boxed ToNumbr round-trip.
+func (g *gen) indexExpr(e ast.Expr) (string, error) {
+	if k, ok := g.staticNumKind(e); ok {
+		code, _, err := g.emitRaw(e)
+		if err != nil {
+			return "", err
+		}
+		return rawPromote(code, k, value.Numbr), nil
 	}
-	idx, err := g.expr(n.IndexE)
+	idx, err := g.expr(e)
 	if err != nil {
 		return "", err
 	}
 	idxT, idxE := g.tmp(), g.tmp()
 	g.w("%s, %s := (%s).ToNumbr()", idxT, idxE, idx)
 	g.failErr(idxE)
+	return idxT, nil
+}
+
+func (g *gen) readIndex(n *ast.Index) (string, error) {
+	sym, err := g.symFor(n.Arr)
+	if err != nil {
+		return "", err
+	}
+	idxT, err := g.indexExpr(n.IndexE)
+	if err != nil {
+		return "", err
+	}
 
 	if sym.Kind == sema.SymShared {
 		peExpr, remote, err := g.peOf(n.Arr)
@@ -385,6 +414,19 @@ func (g *gen) storeVar(n *ast.VarRef, v string) error {
 	if err != nil {
 		return err
 	}
+	if r := g.reps[sym]; r != repValue {
+		// Unboxed target: cast to the static kind (the same Cast a boxed
+		// store performs) and keep only the raw payload.
+		want := value.Numbr
+		if r == repFloat {
+			want = value.Numbar
+		}
+		t, errV := g.tmp(), g.tmp()
+		g.w("%s, %s := value.Cast(%s, value.%s)", t, errV, v, kindName(want))
+		g.failErr(errV)
+		g.w("%s = %s", goName(sym), rawUnwrap(t, want))
+		return nil
+	}
 	if sym.Static && !sym.IsArray {
 		t, errV := g.tmp(), g.tmp()
 		g.w("%s, %s := value.Cast(%s, value.%s)", t, errV, v, kindName(sym.Type))
@@ -446,13 +488,10 @@ func (g *gen) storeIndex(n *ast.Index, v string) error {
 	if err != nil {
 		return err
 	}
-	idx, err := g.expr(n.IndexE)
+	idxT, err := g.indexExpr(n.IndexE)
 	if err != nil {
 		return err
 	}
-	idxT, idxE := g.tmp(), g.tmp()
-	g.w("%s, %s := (%s).ToNumbr()", idxT, idxE, idx)
-	g.failErr(idxE)
 
 	if sym.Kind == sema.SymShared {
 		peExpr, remote, err := g.peOf(n.Arr)

@@ -56,9 +56,9 @@ func TestEmitTestdata(t *testing.T) {
 			src := string(out)
 			for _, want := range []string{
 				"package main",
-				"shmem.NewWorld",
-				"world.Run(program)",
-				"func program(pe *shmem.PE) error",
+				"child.Main(child.Spec{",
+				"Body:",
+				"func program(pe *shmem.PE, peio backend.PEIO) error",
 			} {
 				if !strings.Contains(src, want) {
 					t.Errorf("generated source missing %q", want)

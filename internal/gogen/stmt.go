@@ -36,6 +36,13 @@ func (g *gen) stmt(s ast.Stmt) error {
 		return g.decl(n)
 
 	case *ast.Assign:
+		// Unboxed targets take the raw RHS directly — the hot-loop form
+		// `x R SUM OF x AN ...` compiles to one Go assignment.
+		if t, ok := n.Target.(*ast.VarRef); ok {
+			if sym, serr := g.symFor(t); serr == nil && g.reps[sym] != repValue {
+				return g.storeRaw(sym, n.Value)
+			}
+		}
 		v, err := g.expr(n.Value)
 		if err != nil {
 			return err
@@ -64,15 +71,19 @@ func (g *gen) stmt(s ast.Stmt) error {
 		if !n.NoNewline {
 			parts = append(parts, `"\n"`)
 		}
-		dst := "os.Stdout"
+		dst := "peio.Out"
 		if n.Invisible {
-			dst = "os.Stderr"
+			dst = "peio.Err"
 		}
-		g.w("visible(%s, %s)", dst, strings.Join(parts, "+"))
+		g.w("%s.WriteString(%s)", dst, strings.Join(parts, "+"))
 		return nil
 
 	case *ast.Gimmeh:
-		return g.store(n.Target, "value.NewYarn(gimmeh())")
+		// Shared stdin: lines go to whichever PE asks first, the same
+		// arbitration the in-process engines use. EOF reads as "".
+		t := g.tmp()
+		g.w("%s, _ := peio.Stdin.Line()", t)
+		return g.store(n.Target, fmt.Sprintf("value.NewYarn(%s)", t))
 
 	case *ast.ExprStmt:
 		v, err := g.expr(n.X)
@@ -189,6 +200,14 @@ func (g *gen) decl(n *ast.Decl) error {
 		g.failErr(arrE)
 		g.w("%s = value.NewArray(%s)", goName(sym), arrT)
 		return nil
+	}
+
+	if g.reps[sym] != repValue {
+		if n.Init == nil {
+			g.w("%s = 0", goName(sym))
+			return nil
+		}
+		return g.storeRaw(sym, n.Init)
 	}
 
 	init := "value.NOOB"
@@ -353,27 +372,43 @@ func (g *gen) loop(n *ast.Loop) error {
 	label := g.label()
 
 	var counter string
+	var counterRaw bool
 	if n.Var != "" {
 		sym := g.info.Refs[n]
 		if sym == nil {
 			return fmt.Errorf("gogen: %s: unresolved loop variable %s", n.Position, n.Var)
 		}
 		counter = goName(sym)
-		g.w("%s = value.NewNumbr(0)", counter)
+		counterRaw = g.reps[sym] == repInt
+		if counterRaw {
+			g.w("%s = 0", counter)
+		} else {
+			g.w("%s = value.NewNumbr(0)", counter)
+		}
 	}
 
 	body, err := g.capture(func() error {
 		g.loops = append(g.loops, label)
 		defer func() { g.loops = g.loops[:len(g.loops)-1] }()
 		if n.Cond != nil {
-			cond, err := g.expr(n.Cond)
+			// The header comparison is the per-iteration tax every loop
+			// pays; a statically-typed condition tests a raw Go bool.
+			var cond string
+			var err error
+			if g.staticCondOK(n.Cond) {
+				cond, err = g.emitRawCond(n.Cond)
+				cond = "(" + cond + ")"
+			} else {
+				cond, err = g.expr(n.Cond)
+				cond = fmt.Sprintf("(%s).ToTroof()", cond)
+			}
 			if err != nil {
 				return err
 			}
 			if n.CondKind == ast.CondTil {
-				g.w("if (%s).ToTroof() {", cond)
+				g.w("if %s {", cond)
 			} else {
-				g.w("if !(%s).ToTroof() {", cond)
+				g.w("if !%s {", cond)
 			}
 			g.ind++
 			g.w("break %s", label)
@@ -383,7 +418,15 @@ func (g *gen) loop(n *ast.Loop) error {
 		if err := g.stmts(n.Body); err != nil {
 			return err
 		}
-		if counter != "" {
+		switch {
+		case counter == "":
+		case counterRaw:
+			if n.Op == ast.LoopNerfin {
+				g.w("%s--", counter)
+			} else {
+				g.w("%s++", counter)
+			}
+		default:
 			cur, e := g.tmp(), g.tmp()
 			g.w("%s, %s := %s.ToNumbr()", cur, e, counter)
 			g.failErr(e)

@@ -1,0 +1,436 @@
+package gogen
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+	"repro/internal/value"
+)
+
+// This file is the typed fast path of the emitter: expressions and
+// variables whose runtime kind is statically known lower to raw Go
+// int64/float64 code instead of boxed value.Value dispatch, the same move
+// internal/compile/specialize.go makes for the closure backend and the
+// paper's §II.B motivates ("statically typed variables as a transition to
+// a compiled ... language"). This is what makes the server's native tier
+// an actual promotion: without it the generated binary pays the dynamic
+// value.Binary cost per operator and barely beats the tree-walker.
+//
+// Correctness containment mirrors the compile backend's: a symbol may
+// live as a raw Go scalar only when every write provably preserves its
+// kind — SRSLY-typed scalars are cast on every store (see storeVar), and
+// loop counters qualify only when the body never assigns to them. Typed
+// fast paths for operators with failure modes (QUOSHUNT, MOD, FLIP OF,
+// UNSQUAR OF) call the value.Raw* helpers so error text stays
+// single-sourced with the dynamic backends.
+
+// rep is the Go-level representation of a private scalar symbol.
+type rep int
+
+const (
+	repValue rep = iota // boxed value.Value (the default)
+	repInt              // raw int64: SRSLY NUMBR, pristine loop counters
+	repFloat            // raw float64: SRSLY NUMBAR
+)
+
+// goType returns the Go declaration type for a symbol.
+func (g *gen) goType(sym *sema.Symbol) string {
+	switch g.reps[sym] {
+	case repInt:
+		return "int64"
+	case repFloat:
+		return "float64"
+	}
+	return "value.Value"
+}
+
+// computeReps decides which private scalars can live unboxed. Shared
+// symbols always live in the symmetric heap as value.Value; IT and
+// parameters stay boxed because any kind flows into them.
+func computeReps(info *sema.Info) map[*sema.Symbol]rep {
+	written := writtenSyms(info)
+	reps := make(map[*sema.Symbol]rep)
+	collect := func(scope *sema.Scope) {
+		for _, sym := range scope.Order {
+			if sym.IsArray {
+				continue
+			}
+			switch {
+			case sym.Kind == sema.SymPrivate && sym.Static && sym.Type == value.Numbr:
+				reps[sym] = repInt
+			case sym.Kind == sema.SymPrivate && sym.Static && sym.Type == value.Numbar:
+				reps[sym] = repFloat
+			case sym.Kind == sema.SymLoopVar && !written[sym]:
+				// Implicit counters are NUMBR by construction; a body
+				// that assigns to one could store any kind, so only
+				// never-assigned counters unbox.
+				reps[sym] = repInt
+			}
+		}
+	}
+	collect(info.Main)
+	for _, fi := range info.Funcs {
+		collect(fi.Scope)
+	}
+	return reps
+}
+
+// writtenSyms collects every symbol that is the target of an assignment,
+// GIMMEH, or IS NOW A anywhere in the program (the loop-header increment
+// does not count: it is emitted by the loop itself and preserves NUMBR).
+func writtenSyms(info *sema.Info) map[*sema.Symbol]bool {
+	written := make(map[*sema.Symbol]bool)
+	mark := func(target ast.Expr) {
+		if v, ok := target.(*ast.VarRef); ok {
+			if sym, ok := info.Refs[v]; ok {
+				written[sym] = true
+			}
+		}
+	}
+	ast.Walk(info.Prog, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.Assign:
+			mark(s.Target)
+		case *ast.Gimmeh:
+			mark(s.Target)
+		case *ast.CastStmt:
+			mark(s.Target)
+		}
+		return true
+	})
+	return written
+}
+
+// staticNumKind reports the numeric kind e is guaranteed to evaluate to,
+// without emitting anything. It must stay in lockstep with emitRaw: every
+// (kind, true) answer here is a promise emitRaw can keep. The analysis is
+// pure so callers can probe before committing — a half-emitted fast path
+// that falls back would duplicate side effects like WHATEVR draws.
+func (g *gen) staticNumKind(e ast.Expr) (value.Kind, bool) {
+	switch n := e.(type) {
+	case *ast.NumbrLit:
+		return value.Numbr, true
+	case *ast.NumbarLit:
+		return value.Numbar, true
+	case *ast.Me, *ast.MahFrenz, *ast.Whatevr:
+		return value.Numbr, true
+	case *ast.Whatevar:
+		return value.Numbar, true
+	case *ast.VarRef:
+		sym, err := g.symFor(n)
+		if err != nil {
+			return 0, false
+		}
+		switch g.reps[sym] {
+		case repInt:
+			return value.Numbr, true
+		case repFloat:
+			return value.Numbar, true
+		}
+		return 0, false
+	case *ast.Index:
+		// Typed arrays cast on every Set (value.Array.Set, shmem element
+		// stores), so elements are guaranteed their declared kind.
+		sym, err := g.symFor(n.Arr)
+		if err != nil || !sym.IsArray {
+			return 0, false
+		}
+		if sym.Type == value.Numbr || sym.Type == value.Numbar {
+			return sym.Type, true
+		}
+		return 0, false
+	case *ast.BinExpr:
+		switch n.Op {
+		case value.OpSum, value.OpDiff, value.OpProdukt, value.OpQuoshunt,
+			value.OpMod, value.OpBiggrOf, value.OpSmallrOf:
+			xk, xok := g.staticNumKind(n.X)
+			yk, yok := g.staticNumKind(n.Y)
+			if !xok || !yok {
+				return 0, false
+			}
+			if xk == value.Numbar || yk == value.Numbar {
+				return value.Numbar, true
+			}
+			return value.Numbr, true
+		}
+		return 0, false
+	case *ast.UnExpr:
+		switch n.Op {
+		case value.OpSquar:
+			return g.staticNumKind(n.X)
+		case value.OpUnsquar, value.OpFlip:
+			if _, ok := g.staticNumKind(n.X); ok {
+				return value.Numbar, true
+			}
+			return 0, false
+		}
+		return 0, false
+	case *ast.CastExpr:
+		// A numeric MAEK always lands on its target kind; the operand may
+		// be dynamic (emitRaw boxes it and casts, then unwraps).
+		if n.Type == value.Numbr || n.Type == value.Numbar {
+			return n.Type, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// staticCondOK reports whether e can be emitted as a raw Go bool: a
+// numeric comparison over statically-typed operands, possibly negated.
+// Logic over dynamic operands (BOTH OF, ANY OF, ...) stays boxed — its
+// short-circuiting must not eagerly evaluate operand side effects.
+func (g *gen) staticCondOK(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.BinExpr:
+		switch n.Op {
+		case value.OpBigger, value.OpSmallr, value.OpBothSaem, value.OpDiffrint:
+			_, xok := g.staticNumKind(n.X)
+			_, yok := g.staticNumKind(n.Y)
+			return xok && yok
+		}
+		return false
+	case *ast.UnExpr:
+		return n.Op == value.OpNot && g.staticCondOK(n.X)
+	}
+	return false
+}
+
+// rawPromote converts raw code of kind `from` to kind `want`. NUMBR →
+// NUMBAR is float64() (exactly ToNumbar on a NUMBR); NUMBAR → NUMBR is
+// int64() truncation (exactly ToNumbr on a NUMBAR).
+func rawPromote(code string, from, want value.Kind) string {
+	switch {
+	case from == want:
+		return code
+	case want == value.Numbar:
+		return fmt.Sprintf("float64(%s)", code)
+	default:
+		return fmt.Sprintf("int64(%s)", code)
+	}
+}
+
+func rawUnwrap(boxed string, k value.Kind) string {
+	if k == value.Numbar {
+		return fmt.Sprintf("(%s).Numbar()", boxed)
+	}
+	return fmt.Sprintf("(%s).Numbr()", boxed)
+}
+
+// emitRaw lowers an expression staticNumKind accepted to raw Go code of
+// that kind. The returned string is side-effect free (RNG draws and
+// checked operations land in temps emitted above it), so callers may
+// embed it in larger expressions but must still use it exactly once.
+func (g *gen) emitRaw(e ast.Expr) (string, value.Kind, error) {
+	switch n := e.(type) {
+	case *ast.NumbrLit:
+		return fmt.Sprintf("int64(%d)", n.Value), value.Numbr, nil
+	case *ast.NumbarLit:
+		return fmt.Sprintf("float64(%g)", n.Value), value.Numbar, nil
+	case *ast.Me:
+		return "int64(pe.ID())", value.Numbr, nil
+	case *ast.MahFrenz:
+		return "int64(pe.NPEs())", value.Numbr, nil
+	case *ast.Whatevr:
+		t := g.tmp()
+		g.w("%s := pe.Rand().Int63n(1 << 31)", t)
+		return t, value.Numbr, nil
+	case *ast.Whatevar:
+		t := g.tmp()
+		g.w("%s := pe.Rand().Float64()", t)
+		return t, value.Numbar, nil
+	case *ast.VarRef:
+		sym, err := g.symFor(n)
+		if err != nil {
+			return "", 0, err
+		}
+		if g.reps[sym] == repFloat {
+			return goName(sym), value.Numbar, nil
+		}
+		return goName(sym), value.Numbr, nil
+	case *ast.Index:
+		sym, err := g.symFor(n.Arr)
+		if err != nil {
+			return "", 0, err
+		}
+		boxed, err := g.readIndex(n)
+		if err != nil {
+			return "", 0, err
+		}
+		return rawUnwrap(boxed, sym.Type), sym.Type, nil
+	case *ast.BinExpr:
+		return g.emitRawBin(n)
+	case *ast.UnExpr:
+		return g.emitRawUn(n)
+	case *ast.CastExpr:
+		if ik, ok := g.staticNumKind(n.X); ok {
+			x, _, err := g.emitRaw(n.X)
+			if err != nil {
+				return "", 0, err
+			}
+			return rawPromote(x, ik, n.Type), n.Type, nil
+		}
+		boxed, err := g.expr(n.X)
+		if err != nil {
+			return "", 0, err
+		}
+		t, errV := g.tmp(), g.tmp()
+		g.w("%s, %s := value.Cast(%s, value.%s)", t, errV, boxed, kindName(n.Type))
+		g.failErr(errV)
+		return rawUnwrap(t, n.Type), n.Type, nil
+	}
+	return "", 0, fmt.Errorf("gogen: internal: emitRaw on unvetted expression %T at %s", e, e.Pos())
+}
+
+func (g *gen) emitRawBin(n *ast.BinExpr) (string, value.Kind, error) {
+	x, xk, err := g.emitRaw(n.X)
+	if err != nil {
+		return "", 0, err
+	}
+	y, yk, err := g.emitRaw(n.Y)
+	if err != nil {
+		return "", 0, err
+	}
+	k := value.Numbr
+	if xk == value.Numbar || yk == value.Numbar {
+		k = value.Numbar
+	}
+	x, y = rawPromote(x, xk, k), rawPromote(y, yk, k)
+	switch n.Op {
+	case value.OpSum:
+		return fmt.Sprintf("(%s + %s)", x, y), k, nil
+	case value.OpDiff:
+		return fmt.Sprintf("(%s - %s)", x, y), k, nil
+	case value.OpProdukt:
+		return fmt.Sprintf("(%s * %s)", x, y), k, nil
+	case value.OpBiggrOf:
+		// Builtin max/min match math.Max/Min on NaN and signed zero.
+		return fmt.Sprintf("max(%s, %s)", x, y), k, nil
+	case value.OpSmallrOf:
+		return fmt.Sprintf("min(%s, %s)", x, y), k, nil
+	case value.OpQuoshunt, value.OpMod:
+		fn := map[value.BinOp]map[value.Kind]string{
+			value.OpQuoshunt: {value.Numbr: "RawQuoshuntNumbr", value.Numbar: "RawQuoshuntNumbar"},
+			value.OpMod:      {value.Numbr: "RawModNumbr", value.Numbar: "RawModNumbar"},
+		}[n.Op][k]
+		t, errV := g.tmp(), g.tmp()
+		g.w("%s, %s := value.%s(%s, %s)", t, errV, fn, x, y)
+		g.failErr(errV)
+		return t, k, nil
+	}
+	return "", 0, fmt.Errorf("gogen: internal: emitRawBin on unvetted operator %v at %s", n.Op, n.Position)
+}
+
+func (g *gen) emitRawUn(n *ast.UnExpr) (string, value.Kind, error) {
+	x, xk, err := g.emitRaw(n.X)
+	if err != nil {
+		return "", 0, err
+	}
+	switch n.Op {
+	case value.OpSquar:
+		// Temp the operand: embedding x twice would double its temps'
+		// single-use contract (and re-read nothing, but keep it simple).
+		t := g.tmp()
+		g.w("%s := %s", t, x)
+		return fmt.Sprintf("(%s * %s)", t, t), xk, nil
+	case value.OpUnsquar, value.OpFlip:
+		fn := "RawUnsquar"
+		if n.Op == value.OpFlip {
+			fn = "RawFlip"
+		}
+		t, errV := g.tmp(), g.tmp()
+		g.w("%s, %s := value.%s(%s)", t, errV, fn, rawPromote(x, xk, value.Numbar))
+		g.failErr(errV)
+		return t, value.Numbar, nil
+	}
+	return "", 0, fmt.Errorf("gogen: internal: emitRawUn on unvetted operator %v at %s", n.Op, n.Position)
+}
+
+// emitRawCond lowers a comparison staticCondOK accepted to a raw Go bool
+// expression. Mixed-kind equality promotes to float64, exactly
+// value.Equal's numeric cross-kind rule.
+func (g *gen) emitRawCond(e ast.Expr) (string, error) {
+	switch n := e.(type) {
+	case *ast.BinExpr:
+		x, xk, err := g.emitRaw(n.X)
+		if err != nil {
+			return "", err
+		}
+		y, yk, err := g.emitRaw(n.Y)
+		if err != nil {
+			return "", err
+		}
+		k := value.Numbr
+		if xk == value.Numbar || yk == value.Numbar {
+			k = value.Numbar
+		}
+		x, y = rawPromote(x, xk, k), rawPromote(y, yk, k)
+		op := map[value.BinOp]string{
+			value.OpBigger:   ">",
+			value.OpSmallr:   "<",
+			value.OpBothSaem: "==",
+			value.OpDiffrint: "!=",
+		}[n.Op]
+		return fmt.Sprintf("%s %s %s", x, op, y), nil
+	case *ast.UnExpr: // NOT
+		inner, err := g.emitRawCond(n.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("!(%s)", inner), nil
+	}
+	return "", fmt.Errorf("gogen: internal: emitRawCond on unvetted expression %T at %s", e, e.Pos())
+}
+
+// tryRawBox attempts the typed lowering of a composite expression in a
+// boxed context: the arithmetic runs raw and only the result is boxed.
+// ok=false means the caller must take the dynamic path.
+func (g *gen) tryRawBox(e ast.Expr) (code string, ok bool, err error) {
+	if k, isNum := g.staticNumKind(e); isNum {
+		raw, _, err := g.emitRaw(e)
+		if err != nil {
+			return "", false, err
+		}
+		if k == value.Numbar {
+			return fmt.Sprintf("value.NewNumbar(%s)", raw), true, nil
+		}
+		return fmt.Sprintf("value.NewNumbr(%s)", raw), true, nil
+	}
+	if g.staticCondOK(e) {
+		raw, err := g.emitRawCond(e)
+		if err != nil {
+			return "", false, err
+		}
+		return fmt.Sprintf("value.NewTroof(%s)", raw), true, nil
+	}
+	return "", false, nil
+}
+
+// storeRaw emits `<sym> = <rhs>` for an unboxed symbol from an arbitrary
+// source expression: raw when the RHS kind is static, otherwise boxed +
+// Cast + unwrap (the Cast is what a boxed store to a SRSLY variable does,
+// so error behaviour is identical).
+func (g *gen) storeRaw(sym *sema.Symbol, rhs ast.Expr) error {
+	want := value.Numbr
+	if g.reps[sym] == repFloat {
+		want = value.Numbar
+	}
+	if k, ok := g.staticNumKind(rhs); ok {
+		code, _, err := g.emitRaw(rhs)
+		if err != nil {
+			return err
+		}
+		g.w("%s = %s", goName(sym), rawPromote(code, k, want))
+		return nil
+	}
+	boxed, err := g.expr(rhs)
+	if err != nil {
+		return err
+	}
+	t, errV := g.tmp(), g.tmp()
+	g.w("%s, %s := value.Cast(%s, value.%s)", t, errV, boxed, kindName(want))
+	g.failErr(errV)
+	g.w("%s = %s", goName(sym), rawUnwrap(t, want))
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package child is the runtime harness linked into every gogen-emitted
+// binary. The generated main is a thin shim — it declares the program's
+// symmetric heap layout and SPMD body and calls Main — so the flag
+// surface, the output plumbing, and the lolserv native-tier protocol
+// live here, in reviewable library code, instead of being re-emitted
+// into every generated program.
+//
+// Two modes exist:
+//
+//   - Live (default): the paper's §VI.E toolchain behaviour. VISIBLE
+//     streams to stdout and INVISIBLE to stderr as PEs produce them,
+//     GIMMEH lines go to whichever PE asks first, and the process exits
+//     0/1/2 for ok / program error / usage error. `go run ./gen -np 16`
+//     is the repository's `coprsh -np 16 ./x`.
+//
+//   - Serve (-serve): the subprocess side of lolserv's native execution
+//     tier. The run uses the exact grouped-output, output-cap, and
+//     shared-stdin plumbing of the in-process engines (backend.RunSPMD),
+//     and the process reports one JSON Result object on stdout — ok or
+//     not, both output streams, truncation, and the PGAS stats — with
+//     exit code 0 whenever the protocol itself succeeded. A program
+//     failure is data, not an exit code, exactly like the server's
+//     200-with-outcome contract. Exit code 2 still means the harness
+//     could not run at all (bad flags, world construction failure);
+//     the parent treats that as a tier failure and falls back to an
+//     in-process engine.
+//
+// Because both modes drive backend.RunSPMD, a deterministic program's
+// grouped output is byte-identical across all four execution tiers —
+// the property the server's result cache and the native differential
+// tests are built on.
+package child
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/machine"
+	"repro/internal/shmem"
+)
+
+// Spec is what a generated binary knows about its program: the symmetric
+// heap layout (paper Figure 1), the implicit lock count, and the SPMD
+// body itself.
+type Spec struct {
+	Symbols []shmem.SymbolSpec
+	Locks   int
+	Body    func(pe *shmem.PE, peio backend.PEIO) error
+}
+
+// Result is the one JSON object a -serve run writes to stdout: the
+// subprocess-protocol image of backend.Result plus the fields the parent
+// needs to rebuild a server response without re-deriving anything.
+type Result struct {
+	// OK reports that the program ran to completion. A false OK carries
+	// the failure in Error; the harness still exits 0 — the protocol
+	// worked, the program failed.
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Output and Errout carry VISIBLE and INVISIBLE text, grouped per PE
+	// in rank order (partial on failure, same as the in-process tiers).
+	Output string `json:"output"`
+	Errout string `json:"errout,omitempty"`
+	// Truncated reports that the -max-output cap dropped output bytes.
+	Truncated bool `json:"truncated,omitempty"`
+	// Stats and SimNanos mirror RunResponse: world counters and the
+	// slowest PE's simulated time. Stats is nil on failed runs.
+	Stats    *shmem.StatsSnapshot `json:"stats,omitempty"`
+	SimNanos float64              `json:"sim_nanos,omitempty"`
+}
+
+// Main parses the generated binary's flags and runs the program. It does
+// not return.
+func Main(spec Spec) {
+	np := flag.Int("np", 1, "number of processing elements")
+	machineName := flag.String("machine", "smp", "cost model: "+strings.Join(machine.Names(), ", "))
+	seed := flag.Int64("seed", 1, "base RNG seed (PE i uses seed+i)")
+	dissem := flag.Bool("dissemination-barrier", false, "use the dissemination barrier")
+	serve := flag.Bool("serve", false, "lolserv native-tier mode: grouped output, JSON result on stdout")
+	maxOutput := flag.Int("max-output", 0, "serve mode: cap each output stream at this many bytes (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "serve mode: wall-clock budget; the run is torn down cooperatively (0 = none)")
+	flag.Parse()
+
+	model, err := machine.ByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	alg := shmem.BarrierCentral
+	if *dissem {
+		alg = shmem.BarrierDissemination
+	}
+	world, err := shmem.NewWorld(*np, spec.Symbols, spec.Locks, shmem.Options{
+		Model: model, Seed: *seed, Barrier: alg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := backend.Config{
+		NP:      *np,
+		Model:   model,
+		Barrier: alg,
+		Seed:    *seed,
+		Stdin:   os.Stdin,
+	}
+	if *serve {
+		os.Exit(serveMode(cfg, world, spec, *maxOutput, *timeout))
+	}
+
+	// Live mode: stream through. RunSPMD's ungrouped PEWriters serialize
+	// concurrent PEs onto the real streams, the same discipline the
+	// in-process engines use.
+	cfg.Stdout, cfg.Stderr = os.Stdout, os.Stderr
+	if _, err := backend.RunSPMD(cfg, world, spec.Body); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func serveMode(cfg backend.Config, world *shmem.World, spec Spec, maxOutput int, timeout time.Duration) int {
+	var out, errw strings.Builder
+	cfg.Stdout, cfg.Stderr = &out, &errw
+	cfg.GroupOutput = true
+	cfg.MaxOutput = maxOutput
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
+
+	res, runErr := backend.RunSPMD(cfg, world, spec.Body)
+	r := Result{
+		OK:     runErr == nil,
+		Output: out.String(),
+		Errout: errw.String(),
+	}
+	if res != nil {
+		r.Truncated = res.OutputTruncated
+	}
+	if runErr != nil {
+		r.Error = runErr.Error()
+	} else if res != nil {
+		stats := res.Stats
+		r.Stats = &stats
+		for _, ns := range res.SimNanos {
+			if ns > r.SimNanos {
+				r.SimNanos = ns
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(r); err != nil {
+		// Stdout is gone; nothing useful left to report.
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,304 @@
+// Package native is the fourth execution tier: it turns a hot program
+// into a standalone gogen-compiled binary and runs jobs for it as OS
+// subprocesses. The in-process tiers (interp, vm, compile) share the
+// server's address space and rely on cooperative metering; this tier's
+// isolation story is the operating system — a hostile program is a
+// process the kernel can kill, not a goroutine the runtime must unwind.
+//
+// The package has two halves:
+//
+//   - Cache: the on-disk binary cache and builder. Binaries are keyed by
+//     the program's source sha256 plus gogen.Version, so a codegen fix
+//     invalidates every stale binary by construction, and a restarted
+//     server re-adopts binaries built by its predecessor with a stat.
+//
+//   - RunBinary: the subprocess runner. It maps one job onto the child
+//     protocol (internal/native/child): stdin is piped, VISIBLE/INVISIBLE
+//     come back grouped inside one JSON result on stdout, output caps are
+//     enforced both in-child and on the parent's pipe, and the deadline
+//     is a context kill — the child gets no -timeout of its own, so
+//     deadline classification belongs to exactly one process. Step
+//     budgets cannot be metered inside generated code, so the caller
+//     approximates them as a wall deadline (see server's promotion docs).
+//
+// Promotion policy — when to build, how to route, what to fall back to —
+// lives in internal/server; this package only knows how to build and run.
+package native
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/gogen"
+	"repro/internal/native/child"
+	"repro/internal/sema"
+)
+
+// ErrUnsupported marks a program the static lowering cannot express
+// (currently SRS). The server records it as permanently unpromotable.
+var ErrUnsupported = errors.New("native: program not supported by the Go emitter")
+
+// Check reports, without emitting anything, whether the program can be
+// lowered by the Go emitter; the error wraps ErrUnsupported. The server's
+// promotion policy calls this before queueing a build so unpromotable
+// programs are marked up front.
+func Check(info *sema.Info) error {
+	if err := gogen.Check(info); err != nil {
+		return fmt.Errorf("%w: %w", ErrUnsupported, err)
+	}
+	return nil
+}
+
+// TierError is any native-tier infrastructure failure — the binary
+// would not start, the protocol broke, the toolchain is missing. It is
+// distinct from both a program failure (which the protocol reports as
+// data) and a budget/deadline kill (which surfaces as the context's
+// error): the server reacts to a TierError by demoting the program and
+// falling back to an in-process engine.
+type TierError struct{ Err error }
+
+func (e *TierError) Error() string { return fmt.Sprintf("native tier: %v", e.Err) }
+func (e *TierError) Unwrap() error { return e.Err }
+
+// Cache builds and stores promoted binaries on disk.
+type Cache struct {
+	dir        string // binaries live here
+	moduleRoot string // the repro module checkout go build runs in
+	goTool     string
+}
+
+// NewCache opens (creating if needed) the binary cache at dir. moduleRoot
+// must be the root of this repository's module checkout: the emitted
+// programs import repro/internal/..., so `go build` has to run inside it.
+// Empty moduleRoot auto-detects from the working directory.
+func NewCache(dir, moduleRoot string) (*Cache, error) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		return nil, fmt.Errorf("native: go toolchain not available: %w", err)
+	}
+	if moduleRoot == "" {
+		moduleRoot, err = FindModuleRoot()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := os.Stat(filepath.Join(moduleRoot, "go.mod")); err != nil {
+		return nil, fmt.Errorf("native: %s is not a module root: %w", moduleRoot, err)
+	}
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "lolserv-native")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("native: creating binary cache: %w", err)
+	}
+	return &Cache{dir: dir, moduleRoot: moduleRoot, goTool: goTool}, nil
+}
+
+// FindModuleRoot walks upward from the working directory to the nearest
+// go.mod — where `go build` of emitted programs must run.
+func FindModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("native: no go.mod above the working directory; pass the module root explicitly")
+		}
+		dir = parent
+	}
+}
+
+// Dir returns the binary cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Salt is the executing tier's version fingerprint. The server folds it
+// into the result-cache key of every natively-routed job, so results
+// produced by one codegen version can never answer jobs that would run
+// under another.
+func (c *Cache) Salt() string { return "native:gogen@" + gogen.Version }
+
+// PathFor is the cache path of the binary for the program with the given
+// source sha256 (hex) under the current gogen version. The layout is
+// public so tests and warm-start tooling can pre-populate the cache.
+func (c *Cache) PathFor(sha string) string {
+	return filepath.Join(c.dir, sha+"."+gogen.Version+".bin")
+}
+
+// Lookup reports whether a binary for sha is already on disk — including
+// binaries built by a previous server process.
+func (c *Cache) Lookup(sha string) (string, bool) {
+	path := c.PathFor(sha)
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		return path, true
+	}
+	return "", false
+}
+
+// Build emits the program to Go and compiles it into the cache,
+// returning the binary path. A program the emitter rejects returns an
+// error wrapping ErrUnsupported. Build is idempotent — an existing
+// binary is reused — but not internally single-flighted; the server's
+// promotion queue guarantees one build per program.
+func (c *Cache) Build(ctx context.Context, sha string, info *sema.Info) (string, error) {
+	if path, ok := c.Lookup(sha); ok {
+		return path, nil
+	}
+	if err := gogen.Check(info); err != nil {
+		return "", fmt.Errorf("%w: %w", ErrUnsupported, err)
+	}
+	src, err := gogen.Emit(info)
+	if err != nil {
+		// Emit failures beyond Check's list are still "this program
+		// cannot be lowered", just discovered later.
+		return "", fmt.Errorf("%w: %w", ErrUnsupported, err)
+	}
+
+	// The generated main imports repro/internal/..., so it must be built
+	// from inside the module tree; the package dir is temporary, the
+	// binary is not.
+	genDir, err := os.MkdirTemp(c.moduleRoot, ".native-build-")
+	if err != nil {
+		return "", fmt.Errorf("native: build dir: %w", err)
+	}
+	defer os.RemoveAll(genDir)
+	if err := os.WriteFile(filepath.Join(genDir, "main.go"), src, 0o644); err != nil {
+		return "", fmt.Errorf("native: writing generated main: %w", err)
+	}
+
+	// Build to a temp name and publish with an atomic rename so a
+	// concurrent Lookup never observes a half-written executable.
+	final := c.PathFor(sha)
+	tmp := final + ".tmp"
+	cmd := exec.CommandContext(ctx, c.goTool, "build", "-o", tmp, "./"+filepath.Base(genDir))
+	cmd.Dir = c.moduleRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("native: go build: %w\n%s", err, out)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("native: publishing binary: %w", err)
+	}
+	return final, nil
+}
+
+// RunSpec maps the executable part of a backend.Config onto the child
+// process.
+type RunSpec struct {
+	NP        int
+	Seed      int64
+	Stdin     string
+	MaxOutput int // per-stream byte cap enforced in-child and on the pipe
+}
+
+// pipeSlack bounds everything in the child's JSON result besides the two
+// (already capped) output streams: framing, stats, and escaping overhead.
+const pipeSlack = 64 << 10
+
+// RunBinary executes one job on a promoted binary under the -serve
+// protocol. The context is the job's full budget: when it ends the child
+// is killed and the context's cause is returned, so callers classify
+// deadline vs budget-approximation kills exactly like in-process runs.
+// Any other failure to complete the protocol returns a *TierError.
+//
+// The parent enforces its own cap on the result pipe — 12x the
+// per-stream limit, the worst case of two fully escaped streams plus
+// slack — so even a compromised child cannot flood server memory.
+func RunBinary(ctx context.Context, bin string, spec RunSpec) (*child.Result, error) {
+	// The parent's context kill is the single deadline authority: the child
+	// is NOT given its own -timeout, so a deadline can never race between a
+	// cooperative in-child teardown (which would surface as a runtime error
+	// in the result) and the parent's kill (which classifies correctly).
+	args := []string{
+		"-serve",
+		"-np", fmt.Sprint(spec.NP),
+		"-seed", fmt.Sprint(spec.Seed),
+		"-max-output", fmt.Sprint(spec.MaxOutput),
+	}
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stdin = strings.NewReader(spec.Stdin)
+	var stdout, stderr bytes.Buffer
+	if spec.MaxOutput > 0 {
+		// Two streams, each at most MaxOutput bytes before JSON escaping
+		// (worst case 6x: every byte a \uXXXX sequence), plus slack.
+		cmd.Stdout = &limitedWriter{w: &stdout, n: 12*int64(spec.MaxOutput) + pipeSlack}
+	} else {
+		cmd.Stdout = &stdout
+	}
+	cmd.Stderr = &limitedWriter{w: &stderr, n: 16 << 10} // diagnostics only
+	cmd.WaitDelay = 5 * time.Second
+
+	runErr := cmd.Run()
+	if ctx.Err() != nil {
+		// Killed (or about to be): surface the cause — the job deadline,
+		// the budget approximation, or the client going away.
+		return nil, cause(ctx)
+	}
+	if runErr != nil {
+		return nil, &TierError{Err: fmt.Errorf("%s: %w: %s", filepath.Base(bin), runErr, firstLine(stderr.String()))}
+	}
+	var res child.Result
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		return nil, &TierError{Err: fmt.Errorf("%s: undecodable result: %w", filepath.Base(bin), err)}
+	}
+	return &res, nil
+}
+
+// cause prefers the context's recorded cause (e.g. the step-budget
+// sentinel) over the bare Canceled/DeadlineExceeded.
+func cause(ctx context.Context) error {
+	if c := context.Cause(ctx); c != nil {
+		if errors.Is(ctx.Err(), c) {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: %w", c, ctx.Err())
+	}
+	return ctx.Err()
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// limitedWriter accepts at most n bytes and silently drops the rest;
+// a flooding child therefore produces a truncated buffer whose JSON
+// decode fails, which the server treats as a tier failure.
+type limitedWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (l *limitedWriter) Write(p []byte) (int, error) {
+	keep := p
+	if l.n <= 0 {
+		keep = nil
+	} else if int64(len(keep)) > l.n {
+		keep = keep[:l.n]
+	}
+	l.n -= int64(len(keep))
+	if len(keep) > 0 {
+		if _, err := l.w.Write(keep); err != nil {
+			return 0, err
+		}
+	}
+	// Claim the full write so exec's pipe copier keeps draining the child.
+	return len(p), nil
+}

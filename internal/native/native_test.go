@@ -1,0 +1,224 @@
+package native
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	if testing.Short() {
+		t.Skip("skipping go-build test in -short mode")
+	}
+}
+
+func checkProgram(t *testing.T, src string) *sema.Info {
+	t.Helper()
+	prog, err := parser.Parse("test.lol", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return info
+}
+
+func shaOf(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+func newTestCache(t *testing.T) *Cache {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(t.TempDir(), root)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	return c
+}
+
+const helloSrc = `HAI 1.2
+VISIBLE SMOOSH "ohai from " AN ME MKAY
+KTHXBYE
+`
+
+func TestBuildAndRun(t *testing.T) {
+	requireGo(t)
+	c := newTestCache(t)
+	info := checkProgram(t, helloSrc)
+	sha := shaOf(helloSrc)
+
+	if _, ok := c.Lookup(sha); ok {
+		t.Fatal("Lookup hit before any build")
+	}
+	bin, err := c.Build(context.Background(), sha, info)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got, ok := c.Lookup(sha); !ok || got != bin {
+		t.Fatalf("Lookup after build = %q, %v; want %q, true", got, ok, bin)
+	}
+	// Idempotent: second Build reuses the binary.
+	if again, err := c.Build(context.Background(), sha, info); err != nil || again != bin {
+		t.Fatalf("second Build = %q, %v; want cached %q", again, err, bin)
+	}
+
+	res, err := RunBinary(context.Background(), bin, RunSpec{NP: 4, Seed: 1, MaxOutput: 1 << 20})
+	if err != nil {
+		t.Fatalf("RunBinary: %v", err)
+	}
+	if !res.OK {
+		t.Fatalf("child reported failure: %s", res.Error)
+	}
+	want := "ohai from 0\nohai from 1\nohai from 2\nohai from 3\n"
+	if res.Output != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+	if res.Stats == nil {
+		t.Error("serve result missing stats")
+	}
+}
+
+func TestBuildUnsupportedSRS(t *testing.T) {
+	requireGo(t)
+	c := newTestCache(t)
+	src := `HAI 1.2
+I HAS A x ITZ 1
+VISIBLE SRS "x"
+KTHXBYE
+`
+	info := checkProgram(t, src)
+	_, err := c.Build(context.Background(), shaOf(src), info)
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Build of SRS program = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestRunBinaryStdinAndFailure(t *testing.T) {
+	requireGo(t)
+	c := newTestCache(t)
+	src := `HAI 1.2
+I HAS A line
+GIMMEH line
+VISIBLE SMOOSH "got " AN line MKAY
+KTHXBYE
+`
+	info := checkProgram(t, src)
+	bin, err := c.Build(context.Background(), shaOf(src), info)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := RunBinary(context.Background(), bin, RunSpec{NP: 1, Seed: 1, Stdin: "cheezburger\n", MaxOutput: 1 << 20})
+	if err != nil {
+		t.Fatalf("RunBinary: %v", err)
+	}
+	if !res.OK || res.Output != "got cheezburger\n" {
+		t.Fatalf("stdin run = ok=%v output=%q error=%q", res.OK, res.Output, res.Error)
+	}
+
+	// A failing program is protocol success with OK=false.
+	failSrc := `HAI 1.2
+I HAS A x ITZ QUOSHUNT OF 1 AN 0
+KTHXBYE
+`
+	finfo := checkProgram(t, failSrc)
+	fbin, err := c.Build(context.Background(), shaOf(failSrc), finfo)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	fres, err := RunBinary(context.Background(), fbin, RunSpec{NP: 1, Seed: 1, MaxOutput: 1 << 20})
+	if err != nil {
+		t.Fatalf("RunBinary on failing program: %v", err)
+	}
+	if fres.OK || fres.Error == "" {
+		t.Fatalf("failing program reported ok=%v error=%q", fres.OK, fres.Error)
+	}
+}
+
+func TestRunBinaryDeadlineKill(t *testing.T) {
+	requireGo(t)
+	c := newTestCache(t)
+	src := `HAI 1.2
+I HAS A i ITZ 0
+IM IN YR spin
+  i R SUM OF i AN 1
+IM OUTTA YR spin
+KTHXBYE
+`
+	info := checkProgram(t, src)
+	bin, err := c.Build(context.Background(), shaOf(src), info)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sentinel := errors.New("budget sentinel")
+	ctx, cancel := context.WithTimeoutCause(context.Background(), 300*time.Millisecond, sentinel)
+	defer cancel()
+	_, err = RunBinary(ctx, bin, RunSpec{NP: 1, Seed: 1, MaxOutput: 1 << 20})
+	if err == nil {
+		t.Fatal("infinite loop returned without error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("kill error = %v, want wrapped budget sentinel", err)
+	}
+	var te *TierError
+	if errors.As(err, &te) {
+		t.Fatalf("deadline kill misclassified as TierError: %v", err)
+	}
+}
+
+func TestRunBinaryTierError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	// A binary that is not a child-protocol program (here: `go` itself if
+	// present, else /bin/sh) yields a TierError, not a panic or a result.
+	bin, err := exec.LookPath("sh")
+	if err != nil {
+		t.Skip("no sh on PATH")
+	}
+	_, err = RunBinary(context.Background(), bin, RunSpec{NP: 1, Seed: 1, MaxOutput: 1 << 10})
+	var te *TierError
+	if !errors.As(err, &te) {
+		t.Fatalf("non-protocol binary = %v, want TierError", err)
+	}
+}
+
+func TestLimitedWriter(t *testing.T) {
+	var buf bytes.Buffer
+	lw := &limitedWriter{w: &buf, n: 5}
+	for _, chunk := range []string{"ab", "cd", "efgh"} {
+		n, err := lw.Write([]byte(chunk))
+		if err != nil || n != len(chunk) {
+			t.Fatalf("Write(%q) = %d, %v; want %d, nil", chunk, n, err, len(chunk))
+		}
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Errorf("captured %q, want %q (5-byte cap)", got, "abcde")
+	}
+	if n, err := lw.Write([]byte("more")); n != 4 || err != nil {
+		t.Errorf("post-cap Write = %d, %v; want full-claim 4, nil", n, err)
+	}
+	if !strings.HasPrefix(buf.String(), "abcde") || buf.Len() != 5 {
+		t.Errorf("cap leaked: %q", buf.String())
+	}
+}

@@ -30,6 +30,11 @@ type cacheEntry struct {
 	once sync.Once
 	prog *core.Program
 	err  error
+	// hits counts lookups that found this entry already present — the
+	// signal the native tier's promotion policy watches. It restarts at
+	// zero if the entry is evicted and recompiled, so promotion measures
+	// *sustained* heat, not lifetime popularity.
+	hits atomic.Int64
 }
 
 // Cache is an LRU of compiled programs keyed by source hash. It bounds
@@ -62,14 +67,16 @@ func NewCache(max int) *Cache {
 // GetOrCompile returns the cached program for src under its precomputed
 // key, compiling it on first sight. hit reports whether the entry existed
 // before this call (a hit may still block briefly if the first compiler
-// is mid-flight).
-func (c *Cache) GetOrCompile(key Key, name, src string) (prog *core.Program, err error, hit bool) {
+// is mid-flight); hits is the entry's running hit count, the heat signal
+// the native tier's promotion policy consumes.
+func (c *Cache) GetOrCompile(key Key, name, src string) (prog *core.Program, err error, hit bool, hits int64) {
 	c.mu.Lock()
 	var e *cacheEntry
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e = el.Value.(*lruItem).entry
 		c.hits.Add(1)
+		hits = e.hits.Add(1)
 		hit = true
 	} else {
 		e = &cacheEntry{}
@@ -87,7 +94,7 @@ func (c *Cache) GetOrCompile(key Key, name, src string) (prog *core.Program, err
 	// Compile outside the cache lock; concurrent missers on the same key
 	// serialize here, everyone else proceeds.
 	e.once.Do(func() { e.prog, e.err = core.Parse(name, src) })
-	return e.prog, e.err, hit
+	return e.prog, e.err, hit, hits
 }
 
 // Stats reports the cache counters and current size.

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/native"
+)
+
+// nativeStepsPerSecond converts a per-PE step budget into the native
+// tier's wall-clock approximation of it. Generated code has no step
+// counter — that is the whole point of the tier — so a job routed
+// natively runs under a deadline of MaxSteps/nativeStepsPerSecond
+// instead. The rate is a deliberate *underestimate* of real native
+// throughput (measured well above 100M simple steps/s): a program
+// within its budget always finishes before the approximated deadline,
+// so promotion can never turn an OK run into a budget kill. The
+// opposite divergence is allowed and documented: a program the metered
+// tiers would kill may complete natively. Result-cache safety comes
+// from the tier salt, not from matching kill behaviour.
+const nativeStepsPerSecond = 20_000_000
+
+// maxTrackedNative bounds the promotion-state map: an adversary
+// submitting unbounded distinct hot programs stops being tracked, not
+// the server. Programs beyond the bound simply keep running in-process.
+const maxTrackedNative = 1024
+
+// nativeBuildQueueDepth bounds builds waiting for a builder goroutine.
+// A full queue delays promotion (the program retries on a later hit),
+// it never blocks a request.
+const nativeBuildQueueDepth = 16
+
+// nativeState is a program's position in the promotion lifecycle.
+type nativeState int
+
+const (
+	nativeBuilding     nativeState = iota + 1 // queued or mid `go build`
+	nativeReady                               // binary on disk, jobs route to it
+	nativeUnpromotable                        // unsupported, build failed, or demoted
+)
+
+type nativeProg struct {
+	state nativeState
+	bin   string // binary path, set in nativeReady
+}
+
+// nativeTier owns the promotion policy: per-program lifecycle state, the
+// bounded background build queue, and the counters /v1/stats reports.
+// Build and run mechanics live in internal/native.
+type nativeTier struct {
+	cache     *native.Cache
+	threshold int64
+
+	queue       chan nativeBuildJob
+	stop        chan struct{}
+	buildCtx    context.Context
+	buildCancel context.CancelFunc
+	wg          sync.WaitGroup
+
+	mu    sync.Mutex
+	progs map[Key]*nativeProg
+
+	promotions    atomic.Int64 // binaries built (or adopted from disk)
+	buildFailures atomic.Int64
+	unsupported   atomic.Int64
+	demotions     atomic.Int64
+	runs          atomic.Int64
+	fallbacks     atomic.Int64 // tier failures that re-ran in-process
+}
+
+type nativeBuildJob struct {
+	key  Key
+	prog *core.Program
+}
+
+func newNativeTier(cache *native.Cache, threshold int64, builders int) *nativeTier {
+	if builders <= 0 {
+		builders = 1
+	}
+	nt := &nativeTier{
+		cache:     cache,
+		threshold: threshold,
+		queue:     make(chan nativeBuildJob, nativeBuildQueueDepth),
+		stop:      make(chan struct{}),
+		progs:     make(map[Key]*nativeProg),
+	}
+	nt.buildCtx, nt.buildCancel = context.WithCancel(context.Background())
+	nt.wg.Add(builders)
+	for i := 0; i < builders; i++ {
+		go nt.builder()
+	}
+	return nt
+}
+
+func (nt *nativeTier) close() {
+	nt.buildCancel() // aborts any in-flight `go build`
+	close(nt.stop)
+	nt.wg.Wait()
+}
+
+// binaryFor reports the promoted binary for a program, if one is ready.
+func (nt *nativeTier) binaryFor(key Key) (string, bool) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	if p, ok := nt.progs[key]; ok && p.state == nativeReady {
+		return p.bin, true
+	}
+	return "", false
+}
+
+// maybePromote is called on every program-cache lookup with the entry's
+// hit count. Crossing the threshold starts the lifecycle exactly once:
+// adopt a binary already on disk (a previous process built it), mark
+// unsupported programs terminally, or queue a background build. Never
+// blocks the calling request.
+func (nt *nativeTier) maybePromote(key Key, prog *core.Program, hits int64) {
+	if hits < nt.threshold {
+		return
+	}
+	nt.mu.Lock()
+	p, ok := nt.progs[key]
+	if ok && p.state != 0 {
+		nt.mu.Unlock()
+		return
+	}
+	if !ok {
+		if len(nt.progs) >= maxTrackedNative {
+			nt.mu.Unlock()
+			return
+		}
+		p = &nativeProg{}
+		nt.progs[key] = p
+	}
+	if bin, onDisk := nt.cache.Lookup(hex.EncodeToString(key[:])); onDisk {
+		p.state, p.bin = nativeReady, bin
+		nt.promotions.Add(1)
+		nt.mu.Unlock()
+		return
+	}
+	if err := native.Check(prog.Info); err != nil {
+		p.state = nativeUnpromotable
+		nt.unsupported.Add(1)
+		nt.mu.Unlock()
+		return
+	}
+	p.state = nativeBuilding
+	nt.mu.Unlock()
+
+	select {
+	case nt.queue <- nativeBuildJob{key: key, prog: prog}:
+	default:
+		// Build queue full: un-claim so a later hit retries.
+		nt.mu.Lock()
+		p.state = 0
+		nt.mu.Unlock()
+	}
+}
+
+// demote terminally removes a program from the tier after an
+// infrastructure failure at run time (binary missing, protocol broken).
+// The disk binary is left in place — a later process may be healthier —
+// but this process never routes to it again.
+func (nt *nativeTier) demote(key Key) {
+	nt.mu.Lock()
+	if p, ok := nt.progs[key]; ok && p.state == nativeReady {
+		p.state = nativeUnpromotable
+		nt.demotions.Add(1)
+	}
+	nt.mu.Unlock()
+}
+
+func (nt *nativeTier) builder() {
+	defer nt.wg.Done()
+	for {
+		select {
+		case <-nt.stop:
+			return
+		case job := <-nt.queue:
+			nt.build(job)
+		}
+	}
+}
+
+func (nt *nativeTier) build(job nativeBuildJob) {
+	bin, err := nt.cache.Build(nt.buildCtx, hex.EncodeToString(job.key[:]), job.prog.Info)
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	p := nt.progs[job.key]
+	if p == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		p.state, p.bin = nativeReady, bin
+		nt.promotions.Add(1)
+	case errors.Is(err, native.ErrUnsupported):
+		p.state = nativeUnpromotable
+		nt.unsupported.Add(1)
+	default:
+		// A failed build is terminal for this process: retrying a
+		// deterministic toolchain failure would just burn builders.
+		p.state = nativeUnpromotable
+		nt.buildFailures.Add(1)
+	}
+}
+
+// runNative executes one job on a promoted binary. The third return
+// reports whether the native tier answered at all: false means an
+// infrastructure failure demoted the program and the caller must re-run
+// the job on the in-process engine.
+func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, bin string,
+	prog *core.Program, timeout time.Duration, steps int64, resp RunResponse) (RunResponse, bool, bool) {
+	// The step budget becomes a wall deadline (see nativeStepsPerSecond);
+	// whichever budget is tighter carries its own classification cause.
+	var jobCtx context.Context
+	var cancel context.CancelFunc
+	if budget := time.Duration(float64(steps) / nativeStepsPerSecond * float64(time.Second)); budget < timeout {
+		jobCtx, cancel = context.WithTimeoutCause(ctx, budget, backend.ErrStepBudget)
+	} else {
+		jobCtx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+
+	// Same cacheability verdict as in-process: serve mode always groups
+	// output, so only the determinism audit is in question.
+	cacheable := prog.Audit().DeterministicAt(req.NP)
+
+	s.inFlight.Add(1)
+	start := time.Now()
+	res, runErr := native.RunBinary(jobCtx, bin, native.RunSpec{
+		NP: req.NP, Seed: req.Seed, Stdin: req.Stdin, MaxOutput: s.opts.MaxOutputBytes,
+	})
+	s.inFlight.Add(-1)
+
+	var te *native.TierError
+	if errors.As(runErr, &te) {
+		// The tier broke, not the program: demote and let the caller's
+		// in-process run do all the counting — this attempt produced
+		// nothing a client sees.
+		s.native.demote(key)
+		s.native.fallbacks.Add(1)
+		return resp, false, false
+	}
+
+	s.jobsRun.Add(1)
+	s.native.runs.Add(1)
+	s.tierNative.Add(1)
+	resp.WallMS = msSince(start)
+	resp.Tier = "native"
+	if runErr != nil { // context kill: deadline, budget approximation, or client
+		s.jobsFailed.Add(1)
+		resp.Outcome = classify(runErr, ctx)
+		resp.Error = runErr.Error()
+		return resp, cacheable, true
+	}
+	resp.Output = res.Output
+	resp.Errout = res.Errout
+	resp.OutputTruncated = res.Truncated
+	if !res.OK {
+		s.jobsFailed.Add(1)
+		resp.Outcome = OutcomeRuntime
+		resp.Error = res.Error
+		return resp, cacheable, true
+	}
+	s.jobsOK.Add(1)
+	resp.Outcome = OutcomeOK
+	resp.Stats = res.Stats
+	resp.SimNanos = res.SimNanos
+	return resp, cacheable, true
+}
+
+// NativeStats is the /v1/stats view of the native tier.
+type NativeStats struct {
+	Enabled   bool  `json:"enabled"`
+	Threshold int64 `json:"threshold,omitempty"`
+	// Ready / Building / Unpromotable partition the tracked programs.
+	Ready        int `json:"ready"`
+	Building     int `json:"building"`
+	Unpromotable int `json:"unpromotable"`
+	// Promotions counts binaries that became routable (built here or
+	// adopted from a previous process's disk cache); Runs counts jobs the
+	// tier answered; Fallbacks counts jobs that had to re-run in-process
+	// after a tier failure.
+	Promotions    int64 `json:"promotions"`
+	BuildFailures int64 `json:"build_failures"`
+	Unsupported   int64 `json:"unsupported"`
+	Demotions     int64 `json:"demotions"`
+	Runs          int64 `json:"runs"`
+	Fallbacks     int64 `json:"fallbacks"`
+}
+
+func (nt *nativeTier) stats() NativeStats {
+	st := NativeStats{
+		Enabled:       true,
+		Threshold:     nt.threshold,
+		Promotions:    nt.promotions.Load(),
+		BuildFailures: nt.buildFailures.Load(),
+		Unsupported:   nt.unsupported.Load(),
+		Demotions:     nt.demotions.Load(),
+		Runs:          nt.runs.Load(),
+		Fallbacks:     nt.fallbacks.Load(),
+	}
+	nt.mu.Lock()
+	for _, p := range nt.progs {
+		switch p.state {
+		case nativeReady:
+			st.Ready++
+		case nativeBuilding:
+			st.Building++
+		case nativeUnpromotable:
+			st.Unpromotable++
+		}
+	}
+	nt.mu.Unlock()
+	return st
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/gogen"
+	"repro/internal/native"
+)
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	if testing.Short() {
+		t.Skip("skipping go-build test in -short mode")
+	}
+}
+
+func newNativeCache(t *testing.T) *native.Cache {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := native.NewCache(t.TempDir(), root)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	return c
+}
+
+// TestNativeTierConformanceCorpus routes the paper's Tables I-III corpus
+// through the server's native tier and byte-compares each response
+// against the interpreter's for the same NP, seed, and stdin — the
+// server-level completion of the backend×fixture matrix: not just "the
+// emitted binary matches interp" (gogen's corpus e2e) but "the whole
+// promoted path — routing, subprocess protocol, result classification —
+// is invisible except for the tier field".
+//
+// To keep this to ONE `go build` for the ~50-program corpus, the test
+// pre-populates the binary cache using its public PathFor layout, then
+// runs a server with threshold 1 and the result cache disabled (so
+// identical resubmissions really execute and accrue program-cache heat):
+// the second request's lookup crosses the threshold and adopts the
+// on-disk binary, so the third request must route native.
+func TestNativeTierConformanceCorpus(t *testing.T) {
+	requireGo(t)
+	cache := newNativeCache(t)
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not dot-prefixed: the one-shot `go build ./.../...` below must match
+	// the generated packages, and the go tool skips hidden directories.
+	genRoot, err := os.MkdirTemp(moduleRoot, "native-corpus-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(genRoot) })
+
+	type kase struct {
+		idx int
+		row conformance.Row
+		sha string
+	}
+	var cases []kase
+	seen := map[string]bool{}
+	for i, row := range conformance.All() {
+		prog, err := core.Parse(fmt.Sprintf("row%02d.lol", i), row.Source)
+		if err != nil {
+			t.Fatalf("row %d (%s): parse: %v", i, row.Construct, err)
+		}
+		if err := native.Check(prog.Info); err != nil {
+			// The documented static-lowering limitation: only SRS rows may
+			// be unsupported, and they stay in-process by policy.
+			if !errors.Is(err, native.ErrUnsupported) {
+				t.Errorf("row %d (%s): Check: %v (not ErrUnsupported)", i, row.Construct, err)
+			}
+			continue
+		}
+		key := KeyOf(row.Source)
+		sha := hex.EncodeToString(key[:])
+		if seen[sha] {
+			continue
+		}
+		seen[sha] = true
+		src, err := gogen.Emit(prog.Info)
+		if err != nil {
+			t.Errorf("row %d (%s): emit after Check ok: %v", i, row.Construct, err)
+			continue
+		}
+		dir := filepath.Join(genRoot, "b"+sha)
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, kase{idx: i, row: row, sha: sha})
+	}
+	if len(cases) < 40 {
+		t.Fatalf("only %d rows emitted; the corpus should be nearly all of Tables I-III", len(cases))
+	}
+
+	// One toolchain invocation for the whole corpus, then install each
+	// binary under the cache's public disk layout so the server adopts it.
+	binDir := filepath.Join(genRoot, "bin")
+	if err := os.Mkdir(binDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	goTool, _ := exec.LookPath("go")
+	build := exec.Command(goTool, "build", "-o", binDir, "./"+filepath.Base(genRoot)+"/...")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("corpus does not compile: %v\n%s", err, out)
+	}
+	for _, c := range cases {
+		if err := os.Rename(filepath.Join(binDir, "b"+c.sha), cache.PathFor(c.sha)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := New(Options{Workers: 2, MaxNP: 8, ResultCacheSize: -1,
+		NativeCache: cache, NativeThreshold: 1})
+	defer srv.Close()
+	ctx := context.Background()
+	for _, c := range cases {
+		c := c
+		np := c.row.NP
+		if np == 0 {
+			np = 1
+		}
+		req := RunRequest{Src: c.row.Source, NP: np, Seed: 2017,
+			Stdin: c.row.Stdin, Backend: "interp"}
+
+		// Two interpreter runs: the first compiles (hit count 0), the
+		// second's cache lookup crosses the threshold and adopts the
+		// pre-built binary from disk.
+		interpResp := srv.Run(ctx, req)
+		if interpResp.Outcome != OutcomeOK {
+			t.Errorf("row %d (%s): interp run: %q (%s)", c.idx, c.row.Construct, interpResp.Outcome, interpResp.Error)
+			continue
+		}
+		if warm := srv.Run(ctx, req); warm.Outcome != OutcomeOK {
+			t.Errorf("row %d (%s): warm run: %q (%s)", c.idx, c.row.Construct, warm.Outcome, warm.Error)
+			continue
+		}
+		nativeResp := srv.Run(ctx, req)
+		if nativeResp.Outcome != OutcomeOK {
+			t.Errorf("row %d (%s): native run: %q (%s)", c.idx, c.row.Construct, nativeResp.Outcome, nativeResp.Error)
+			continue
+		}
+		if nativeResp.Tier != "native" {
+			t.Errorf("row %d (%s): third request ran on tier %q, want native", c.idx, c.row.Construct, nativeResp.Tier)
+			continue
+		}
+		if c.row.WantCheck != nil {
+			// Nondeterministic row: the paper's predicate is the spec.
+			if err := c.row.WantCheck(nativeResp.Output); err != nil {
+				t.Errorf("row %d (%s): native output check: %v", c.idx, c.row.Construct, err)
+			}
+			continue
+		}
+		if nativeResp.Output != interpResp.Output {
+			t.Errorf("row %d (%s): native output diverges from interp:\nnative: %q\ninterp: %q\n--- program ---\n%s",
+				c.idx, c.row.Construct, nativeResp.Output, interpResp.Output, c.row.Source)
+		}
+		if nativeResp.Output != c.row.Want {
+			t.Errorf("row %d (%s): native output = %q, want %q", c.idx, c.row.Construct, nativeResp.Output, c.row.Want)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Native.Promotions != int64(len(cases)) {
+		t.Errorf("promotions = %d, want %d (one adopted binary per unique program)", st.Native.Promotions, len(cases))
+	}
+	if st.Native.Runs < int64(len(cases)) {
+		t.Errorf("native runs = %d, want >= %d", st.Native.Runs, len(cases))
+	}
+	if st.Native.Fallbacks != 0 || st.Native.Demotions != 0 {
+		t.Errorf("native tier was not clean: %+v", st.Native)
+	}
+	if st.Tiers.Native != st.Native.Runs {
+		t.Errorf("per-tier counter (%d) disagrees with native runs (%d)", st.Tiers.Native, st.Native.Runs)
+	}
+}
+
+// TestNativePromotionLifecycle exercises the full promotion state
+// machine against a real background `go build`: below the threshold jobs
+// stay in-process, crossing it queues a build, and once Stats reports
+// the binary ready the next identical job runs natively with an
+// identical response body.
+func TestNativePromotionLifecycle(t *testing.T) {
+	requireGo(t)
+	cache := newNativeCache(t)
+	srv := New(Options{Workers: 2, NativeCache: cache, NativeThreshold: 3})
+	defer srv.Close()
+	ctx := context.Background()
+	// Every request gets a fresh seed: an identical resubmission would be
+	// answered by the result cache without executing, and only executions
+	// advance the program-cache hit count the promotion policy watches.
+	// helloSrc never draws from the RNG, so outputs stay comparable.
+	seed := int64(0)
+	next := func() RunRequest {
+		seed++
+		return RunRequest{Src: helloSrc, NP: 2, Seed: seed}
+	}
+
+	// Four runs: the first compiles (hit count 0), the fourth's lookup
+	// reaches the threshold of 3 and queues the background build.
+	var inProc RunResponse
+	for i := 0; i < 4; i++ {
+		resp := srv.Run(ctx, next())
+		if resp.Outcome != OutcomeOK {
+			t.Fatalf("warm-up run %d: %q (%s)", i, resp.Outcome, resp.Error)
+		}
+		if resp.Tier == "native" {
+			t.Fatalf("run %d went native before the build could have finished adoption gating", i)
+		}
+		if i == 0 {
+			inProc = resp
+		}
+	}
+
+	// Wait for the background `go build` to publish the binary.
+	deadline := time.Now().Add(120 * time.Second)
+	for srv.Stats().Native.Ready == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("binary never became ready: %+v", srv.Stats().Native)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Re-submit the FIRST warm-up job verbatim. Its in-process result sits
+	// in the result cache under the empty tier salt; the request must
+	// nevertheless execute natively, because the routing decision folds
+	// the native tier's version salt into the key. Without the salt this
+	// would be a result-cache hit and the tier would be unreachable.
+	nativeResp := srv.Run(ctx, RunRequest{Src: helloSrc, NP: 2, Seed: 1})
+	if nativeResp.Tier != "native" || nativeResp.Outcome != OutcomeOK {
+		t.Fatalf("post-promotion run: tier=%q outcome=%q (%s)", nativeResp.Tier, nativeResp.Outcome, nativeResp.Error)
+	}
+	if nativeResp.ResultCacheHit {
+		t.Fatal("post-promotion run was a result-cache hit; the tier salt must separate the keys")
+	}
+	if nativeResp.Output != inProc.Output {
+		t.Errorf("native output %q != in-process output %q", nativeResp.Output, inProc.Output)
+	}
+	st := srv.Stats()
+	if st.Native.Promotions != 1 || st.Native.Runs != 1 {
+		t.Errorf("native stats after one promoted run: %+v", st.Native)
+	}
+
+	// Infrastructure failure demotes: replace the binary with something
+	// that speaks no protocol; the job must fall back in-process with a
+	// correct response, and the program must never route native again.
+	bin, ok := srv.native.binaryFor(KeyOf(helloSrc))
+	if !ok {
+		t.Fatal("promoted binary not routable")
+	}
+	if err := os.WriteFile(bin, []byte("#!/bin/sh\nexit 0\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fallback := srv.Run(ctx, next())
+	if fallback.Outcome != OutcomeOK || fallback.Tier == "native" {
+		t.Fatalf("fallback run: tier=%q outcome=%q (%s)", fallback.Tier, fallback.Outcome, fallback.Error)
+	}
+	if fallback.Output != inProc.Output {
+		t.Errorf("fallback output %q != in-process output %q", fallback.Output, inProc.Output)
+	}
+	st = srv.Stats()
+	if st.Native.Demotions != 1 || st.Native.Fallbacks != 1 {
+		t.Errorf("demotion not recorded: %+v", st.Native)
+	}
+	if again := srv.Run(ctx, next()); again.Tier == "native" {
+		t.Error("demoted program routed native again")
+	}
+}
+
+// TestNativeUnsupportedStaysInProcess: a program the emitter cannot
+// lower (SRS) is marked unpromotable up front — no build is attempted
+// and jobs keep running in-process forever.
+func TestNativeUnsupportedStaysInProcess(t *testing.T) {
+	requireGo(t)
+	cache := newNativeCache(t)
+	srv := New(Options{Workers: 2, NativeCache: cache, NativeThreshold: 1})
+	defer srv.Close()
+	src := "HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE"
+	for i := 0; i < 3; i++ {
+		resp := srv.Run(context.Background(), RunRequest{Src: src, Seed: int64(i)})
+		if resp.Outcome != OutcomeOK || resp.Tier == "native" {
+			t.Fatalf("run %d: tier=%q outcome=%q (%s)", i, resp.Tier, resp.Outcome, resp.Error)
+		}
+	}
+	st := srv.Stats().Native
+	if st.Unsupported != 1 || st.Unpromotable != 1 {
+		t.Errorf("unsupported program not marked exactly once: %+v", st)
+	}
+	if st.Promotions != 0 || st.Building != 0 || st.Ready != 0 {
+		t.Errorf("unsupported program entered the build pipeline: %+v", st)
+	}
+}

@@ -23,8 +23,17 @@ type ResultKey [sha256.Size]byte
 // because they change outcomes at the margin: an OK run under a 500M
 // step budget is not a valid answer for the same program asked to run
 // under 100 steps (that run would have been budget-killed).
+//
+// tierSalt names the executing tier's version when the routing decision
+// sends the job outside the in-process engines ("" for in-process,
+// native.Cache.Salt() for promoted binaries). It is part of the key for
+// two reasons: a gogen fix must invalidate results cached from binaries
+// of the old codegen version, and the native tier's step budget is a
+// wall-clock *approximation* — a result it produces near the budget
+// margin is not interchangeable with a metered in-process result, so
+// the two must never share a cache line.
 func resultKeyOf(prog Key, engine string, np int, seed int64,
-	steps int64, timeout time.Duration, stdin string) ResultKey {
+	steps int64, timeout time.Duration, stdin string, tierSalt string) ResultKey {
 	h := sha256.New()
 	h.Write(prog[:])
 	var buf [8]byte
@@ -34,6 +43,8 @@ func resultKeyOf(prog Key, engine string, np int, seed int64,
 	}
 	writeU64(uint64(len(engine)))
 	h.Write([]byte(engine))
+	writeU64(uint64(len(tierSalt)))
+	h.Write([]byte(tierSalt))
 	writeU64(uint64(np))
 	writeU64(uint64(seed))
 	writeU64(uint64(steps))

@@ -6,6 +6,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/gogen"
+	"repro/internal/native"
 )
 
 // sumSrc builds a small pure-compute program (cacheable at any NP):
@@ -275,5 +279,33 @@ func TestFailedLeaderWakesWaiters(t *testing.T) {
 	wg.Wait()
 	if st := s.Stats(); st.JobsRun != n {
 		t.Errorf("jobs_run = %d, want %d (failures are never shared)", st.JobsRun, n)
+	}
+}
+
+// TestResultKeyTierSalt: the executing tier's version salt must be part
+// of the result key. Two invariants ride on it: a result produced by a
+// promoted binary can never answer an in-process job (or vice versa) —
+// the native step budget is only a wall-clock approximation — and a
+// gogen version bump must orphan every result cached from binaries of
+// the old codegen, exactly as it orphans the binaries themselves.
+func TestResultKeyTierSalt(t *testing.T) {
+	prog := KeyOf(sumSrc(10))
+	at := func(salt string) ResultKey {
+		return resultKeyOf(prog, "compile", 2, 1, 1000, time.Second, "", salt)
+	}
+	inProc := at("")
+	nativeV1 := at("native:gogen@g1")
+	nativeV2 := at("native:gogen@g2")
+	if inProc == nativeV1 || inProc == nativeV2 {
+		t.Error("native-tier key collides with the in-process key")
+	}
+	if nativeV1 == nativeV2 {
+		t.Error("gogen version bump does not change the native result key")
+	}
+	// The salt the server actually uses is pinned to the live gogen
+	// version, so bumping gogen.Version invalidates stale native results
+	// by construction.
+	if want := "native:gogen@" + gogen.Version; (&native.Cache{}).Salt() != want {
+		t.Errorf("cache salt = %q, want %q", (&native.Cache{}).Salt(), want)
 	}
 }

@@ -19,6 +19,20 @@
 // streamed back as NDJSON in completion order through the same fairness
 // pool and budgets.
 //
+// The execution ladder has four tiers. Three run in-process — the
+// tree-walking interpreter, the bytecode VM, and the closure compiler —
+// and a fourth, optional tier promotes hot programs out of the process
+// entirely: when a program's cache hit count crosses a threshold, a
+// background builder lowers it to Go (internal/gogen), compiles a
+// standalone binary into an on-disk cache keyed by source hash and
+// codegen version, and subsequent jobs run it as a subprocess
+// (internal/native). Promotion is invisible to clients except in speed
+// and the response's tier field: all four tiers are semantically
+// identical (byte-identical grouped output for deterministic programs,
+// enforced by differential tests), unsupported programs (SRS) are
+// detected up front and stay in-process, and any native infrastructure
+// failure demotes the program and re-runs the job in-process.
+//
 // The paper's toolchain stops at a batch launcher (coprsh/aprun); this
 // package is the repository's answer to the ROADMAP's production-service
 // north star: the same three engines, behind an API that serves a
@@ -36,6 +50,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/native"
 	"repro/internal/shmem"
 )
 
@@ -78,6 +93,18 @@ type Options struct {
 	// (defaults 50M and 500M). A request may ask for less, never more.
 	DefaultStepBudget int64
 	MaxStepBudget     int64
+
+	// NativeCache enables the fourth execution tier: programs whose
+	// program-cache hit count reaches NativeThreshold are compiled by
+	// internal/gogen into standalone binaries (stored in this cache) and
+	// subsequent jobs for them run as subprocesses. nil, or a
+	// NativeThreshold of 0, disables the tier. The caller owns cache
+	// construction because it can fail (missing go toolchain) and New
+	// cannot — cmd/lolserv warns and runs three-tiered when it does.
+	NativeCache     *native.Cache
+	NativeThreshold int64
+	// NativeBuilds bounds concurrent background `go build`s (default 1).
+	NativeBuilds int
 }
 
 func (o *Options) withDefaults() Options {
@@ -130,6 +157,7 @@ type Server struct {
 	cache   *Cache
 	results *resultCache // nil when result caching is disabled
 	pool    *pool
+	native  *nativeTier // nil when the native tier is disabled
 
 	jobsRun      atomic.Int64
 	jobsOK       atomic.Int64
@@ -137,6 +165,12 @@ type Server struct {
 	jobsRejected atomic.Int64
 	batchesRun   atomic.Int64
 	inFlight     atomic.Int64
+
+	// Per-tier execution counters: which engine actually ran each job.
+	tierInterp  atomic.Int64
+	tierVM      atomic.Int64
+	tierCompile atomic.Int64
+	tierNative  atomic.Int64
 }
 
 // New builds a Server.
@@ -150,7 +184,19 @@ func New(opts Options) *Server {
 	if o.ResultCacheSize > 0 {
 		s.results = newResultCache(o.ResultCacheSize)
 	}
+	if o.NativeCache != nil && o.NativeThreshold > 0 {
+		s.native = newNativeTier(o.NativeCache, o.NativeThreshold, o.NativeBuilds)
+	}
 	return s
+}
+
+// Close stops the native tier's background builders (aborting any
+// in-flight `go build`). In-flight jobs are unaffected. Safe to call on
+// a server without the native tier, and at most once.
+func (s *Server) Close() {
+	if s.native != nil {
+		s.native.close()
+	}
 }
 
 // RunRequest is one job: a program plus its launch parameters.
@@ -199,6 +245,12 @@ type RunResponse struct {
 
 	Backend string `json:"backend"`
 	NP      int    `json:"np"`
+	// Tier names the engine that actually executed the job: the requested
+	// backend for in-process runs, or "native" when a promoted binary
+	// answered (the native tier serves any requested engine — all four
+	// tiers are semantically identical, which the differential tests
+	// enforce). Empty for jobs that never executed.
+	Tier string `json:"tier,omitempty"`
 	// CacheHit reports whether the compiled program came from the cache.
 	CacheHit bool `json:"cache_hit"`
 	// ResultCacheHit reports that the whole response was served from the
@@ -237,8 +289,21 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 		s.opts.DefaultTimeout, s.opts.MaxTimeout)
 	steps := clampInt64(req.MaxSteps, s.opts.DefaultStepBudget, s.opts.MaxStepBudget)
 
+	// Tier routing happens before the result cache is consulted, because
+	// the executing tier's version salt is part of the result key: a
+	// promoted program's results live under the gogen-version salt and can
+	// never answer (or be answered by) in-process runs near the budget
+	// margin, and a codegen fix orphans every stale native result.
+	key := KeyOf(req.Src)
+	var nativeBin, tierSalt string
+	if s.native != nil {
+		if bin, ok := s.native.binaryFor(key); ok {
+			nativeBin, tierSalt = bin, s.native.cache.Salt()
+		}
+	}
+
 	if s.results == nil {
-		resp, _ := s.execute(ctx, req, coreBackend, timeout, steps)
+		resp, _ := s.execute(ctx, req, key, coreBackend, timeout, steps, nativeBin)
 		return resp
 	}
 
@@ -246,8 +311,8 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 	// the response bytes of a deterministic job; whether the job IS
 	// deterministic is only known after the frontend runs, so a first
 	// sight claims the key optimistically and resolves the claim below.
-	rkey := resultKeyOf(KeyOf(req.Src), coreBackend.String(), req.NP,
-		req.Seed, steps, timeout, req.Stdin)
+	rkey := resultKeyOf(key, coreBackend.String(), req.NP,
+		req.Seed, steps, timeout, req.Stdin, tierSalt)
 	qStart := time.Now()
 	cached, claim, err := s.results.acquire(ctx, rkey)
 	switch {
@@ -263,11 +328,11 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 		cached.QueueMS = msSince(qStart)
 		return *cached
 	case claim == nil: // bypass-marked: known non-cacheable, just run
-		resp, _ := s.execute(ctx, req, coreBackend, timeout, steps)
+		resp, _ := s.execute(ctx, req, key, coreBackend, timeout, steps, nativeBin)
 		return resp
 	}
 
-	resp, cacheable := s.execute(ctx, req, coreBackend, timeout, steps)
+	resp, cacheable := s.execute(ctx, req, key, coreBackend, timeout, steps, nativeBin)
 	switch {
 	case resp.Outcome == OutcomeRejected || resp.Outcome == OutcomeCancelled:
 		// The job never really ran; leave the key unresolved for the
@@ -291,15 +356,18 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 // execute runs one validated job to completion on a worker slot. The
 // second return reports whether the job passed the determinism audit —
 // i.e. whether an identical future job could be answered from this
-// run's result.
-func (s *Server) execute(ctx context.Context, req RunRequest, coreBackend core.Backend,
-	timeout time.Duration, steps int64) (RunResponse, bool) {
+// run's result. A non-empty nativeBin routes the job to the promoted
+// binary; an infrastructure failure there falls back to the in-process
+// engine below, after demoting the program.
+func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBackend core.Backend,
+	timeout time.Duration, steps int64, nativeBin string) (RunResponse, bool) {
 	resp := RunResponse{Backend: coreBackend.String(), NP: req.NP}
 
 	// Admission first: parse+sema runs inside the worker slot too, so a
 	// flood of distinct programs cannot compile without bound — the
 	// frontend is CPU the pool must account for like any other job work.
-	key := KeyOf(req.Src)
+	// Native jobs hold a slot too: a subprocess is still one job's worth
+	// of machine, and admission is the unit of fairness.
 	qStart := time.Now()
 	if err := s.pool.acquire(ctx, key); err != nil {
 		s.jobsRejected.Add(1)
@@ -316,13 +384,24 @@ func (s *Server) execute(ctx context.Context, req RunRequest, coreBackend core.B
 	resp.QueueMS = msSince(qStart)
 
 	// Frontend, amortized: one parse+sema per unique source ever in cache.
-	prog, err, hit := s.cache.GetOrCompile(key, "job.lol", req.Src)
+	prog, err, hit, hits := s.cache.GetOrCompile(key, "job.lol", req.Src)
 	resp.CacheHit = hit
 	if err != nil {
 		s.jobsRejected.Add(1)
 		resp.Outcome = OutcomeParseError
 		resp.Error = err.Error()
 		return resp, false
+	}
+	if s.native != nil {
+		s.native.maybePromote(key, prog, hits)
+	}
+
+	if nativeBin != "" {
+		if nresp, cacheable, answered := s.runNative(ctx, req, key, nativeBin, prog,
+			timeout, steps, resp); answered {
+			return nresp, cacheable
+		}
+		// Tier failure: the program was demoted; run in-process below.
 	}
 
 	jobCtx, cancel := context.WithTimeout(ctx, timeout)
@@ -347,6 +426,15 @@ func (s *Server) execute(ctx context.Context, req RunRequest, coreBackend core.B
 
 	s.jobsRun.Add(1)
 	s.inFlight.Add(1)
+	switch coreBackend {
+	case core.BackendInterp:
+		s.tierInterp.Add(1)
+	case core.BackendVM:
+		s.tierVM.Add(1)
+	default:
+		s.tierCompile.Add(1)
+	}
+	resp.Tier = coreBackend.String()
 	start := time.Now()
 	res, runErr := prog.Run(core.RunConfig{Config: cfg, Backend: coreBackend})
 	s.inFlight.Add(-1)
@@ -429,6 +517,8 @@ func classify(err error, clientCtx context.Context) Outcome {
 type Stats struct {
 	Cache        CacheStats       `json:"cache"`
 	ResultCache  ResultCacheStats `json:"result_cache"`
+	Tiers        TierStats        `json:"tiers"`
+	Native       NativeStats      `json:"native"`
 	JobsRun      int64            `json:"jobs_run"`
 	JobsOK       int64            `json:"jobs_ok"`
 	JobsFailed   int64            `json:"jobs_failed"`
@@ -439,10 +529,26 @@ type Stats struct {
 	Workers      int              `json:"workers"`
 }
 
+// TierStats counts executions by the engine that actually ran each job.
+// The four fields sum to JobsRun minus jobs that failed before reaching
+// an engine (parse errors, rejections).
+type TierStats struct {
+	Interp  int64 `json:"interp"`
+	VM      int64 `json:"vm"`
+	Compile int64 `json:"compile"`
+	Native  int64 `json:"native"`
+}
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Cache:        s.cache.Stats(),
+		Cache: s.cache.Stats(),
+		Tiers: TierStats{
+			Interp:  s.tierInterp.Load(),
+			VM:      s.tierVM.Load(),
+			Compile: s.tierCompile.Load(),
+			Native:  s.tierNative.Load(),
+		},
 		JobsRun:      s.jobsRun.Load(),
 		JobsOK:       s.jobsOK.Load(),
 		JobsFailed:   s.jobsFailed.Load(),
@@ -454,6 +560,9 @@ func (s *Server) Stats() Stats {
 	}
 	if s.results != nil {
 		st.ResultCache = s.results.Stats()
+	}
+	if s.native != nil {
+		st.Native = s.native.stats()
 	}
 	return st
 }

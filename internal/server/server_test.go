@@ -271,15 +271,15 @@ func TestLRUEviction(t *testing.T) {
 		"HAI 1.2\nVISIBLE 3\nKTHXBYE",
 	}
 	for _, src := range srcs {
-		if _, err, _ := c.GetOrCompile(KeyOf(src), "t.lol", src); err != nil {
+		if _, err, _, _ := c.GetOrCompile(KeyOf(src), "t.lol", src); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// srcs[0] is the LRU victim; re-requesting it must miss.
-	if _, _, hit := c.GetOrCompile(KeyOf(srcs[0]), "t.lol", srcs[0]); hit {
+	if _, _, hit, _ := c.GetOrCompile(KeyOf(srcs[0]), "t.lol", srcs[0]); hit {
 		t.Error("evicted program reported as cache hit")
 	}
-	if _, _, hit := c.GetOrCompile(KeyOf(srcs[2]), "t.lol", srcs[2]); !hit {
+	if _, _, hit, _ := c.GetOrCompile(KeyOf(srcs[2]), "t.lol", srcs[2]); !hit {
 		t.Error("recently used program reported as miss")
 	}
 	st := c.Stats()

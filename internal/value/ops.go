@@ -117,6 +117,62 @@ func Binary(op BinOp, a, b Value) (Value, error) {
 	return binaryNumbar(op, fa, fb)
 }
 
+// The Raw* helpers are the operand-checked forms of the operators whose
+// typed lowering is not a single Go expression (division and modulo need
+// a zero check, the Table III unaries have domain errors, float modulo
+// needs math.Mod). Generated code (internal/gogen) and the dynamic
+// dispatch below share them so the error behaviour stays single-sourced:
+// a typed fast path must fail with byte-identical messages to the
+// interpreter or the server's differential tests reject the tier.
+
+// RawQuoshuntNumbr is QUOSHUNT OF on two NUMBRs.
+func RawQuoshuntNumbr(a, b int64) (int64, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("QUOSHUNT OF: division by zero")
+	}
+	return a / b, nil
+}
+
+// RawQuoshuntNumbar is QUOSHUNT OF on two NUMBARs.
+func RawQuoshuntNumbar(a, b float64) (float64, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("QUOSHUNT OF: division by zero")
+	}
+	return a / b, nil
+}
+
+// RawModNumbr is MOD OF on two NUMBRs.
+func RawModNumbr(a, b int64) (int64, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("MOD OF: modulo by zero")
+	}
+	return a % b, nil
+}
+
+// RawModNumbar is MOD OF on two NUMBARs.
+func RawModNumbar(a, b float64) (float64, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("MOD OF: modulo by zero")
+	}
+	return math.Mod(a, b), nil
+}
+
+// RawUnsquar is UNSQUAR OF on a NUMBAR operand.
+func RawUnsquar(f float64) (float64, error) {
+	if f < 0 {
+		return 0, fmt.Errorf("UNSQUAR OF: negative operand %g", f)
+	}
+	return math.Sqrt(f), nil
+}
+
+// RawFlip is FLIP OF on a NUMBAR operand.
+func RawFlip(f float64) (float64, error) {
+	if f == 0 {
+		return 0, fmt.Errorf("FLIP OF: division by zero")
+	}
+	return 1 / f, nil
+}
+
 func binaryNumbr(op BinOp, a, b int64) (Value, error) {
 	switch op {
 	case OpSum:
@@ -126,15 +182,17 @@ func binaryNumbr(op BinOp, a, b int64) (Value, error) {
 	case OpProdukt:
 		return NewNumbr(a * b), nil
 	case OpQuoshunt:
-		if b == 0 {
-			return NOOB, fmt.Errorf("QUOSHUNT OF: division by zero")
+		n, err := RawQuoshuntNumbr(a, b)
+		if err != nil {
+			return NOOB, err
 		}
-		return NewNumbr(a / b), nil
+		return NewNumbr(n), nil
 	case OpMod:
-		if b == 0 {
-			return NOOB, fmt.Errorf("MOD OF: modulo by zero")
+		n, err := RawModNumbr(a, b)
+		if err != nil {
+			return NOOB, err
 		}
-		return NewNumbr(a % b), nil
+		return NewNumbr(n), nil
 	case OpBiggrOf:
 		if a > b {
 			return NewNumbr(a), nil
@@ -162,15 +220,17 @@ func binaryNumbar(op BinOp, a, b float64) (Value, error) {
 	case OpProdukt:
 		return NewNumbar(a * b), nil
 	case OpQuoshunt:
-		if b == 0 {
-			return NOOB, fmt.Errorf("QUOSHUNT OF: division by zero")
+		f, err := RawQuoshuntNumbar(a, b)
+		if err != nil {
+			return NOOB, err
 		}
-		return NewNumbar(a / b), nil
+		return NewNumbar(f), nil
 	case OpMod:
-		if b == 0 {
-			return NOOB, fmt.Errorf("MOD OF: modulo by zero")
+		f, err := RawModNumbar(a, b)
+		if err != nil {
+			return NOOB, err
 		}
-		return NewNumbar(math.Mod(a, b)), nil
+		return NewNumbar(f), nil
 	case OpBiggrOf:
 		return NewNumbar(math.Max(a, b)), nil
 	case OpSmallrOf:
@@ -203,19 +263,21 @@ func Unary(op UnOp, v Value) (Value, error) {
 		if err != nil {
 			return NOOB, fmt.Errorf("UNSQUAR OF: %w", err)
 		}
-		if f < 0 {
-			return NOOB, fmt.Errorf("UNSQUAR OF: negative operand %g", f)
+		r, err := RawUnsquar(f)
+		if err != nil {
+			return NOOB, err
 		}
-		return NewNumbar(math.Sqrt(f)), nil
+		return NewNumbar(r), nil
 	case OpFlip:
 		f, err := v.ToNumbar()
 		if err != nil {
 			return NOOB, fmt.Errorf("FLIP OF: %w", err)
 		}
-		if f == 0 {
-			return NOOB, fmt.Errorf("FLIP OF: division by zero")
+		r, err := RawFlip(f)
+		if err != nil {
+			return NOOB, err
 		}
-		return NewNumbar(1 / f), nil
+		return NewNumbar(r), nil
 	}
 	return NOOB, fmt.Errorf("invalid unary operator %v", op)
 }
