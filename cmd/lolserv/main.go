@@ -11,11 +11,19 @@
 //
 //	lolserv -addr :8404 -workers 8 -cache 256
 //	lolserv -native-threshold 3 -native-cache-dir /var/cache/lolserv
+//	lolserv -log-format json -debug-addr 127.0.0.1:8405
 //	curl -s localhost:8404/v1/run -d '{"src":"HAI 1.2\nVISIBLE ME\nKTHXBYE","np":4}'
 //
-// See internal/server/README.md for the API, cacheability, and budget
-// semantics, and `lolbench serve` (-scenario zipf) for the load-generator
-// experiments against this server.
+// The daemon is fully observable: every request is logged as one
+// structured slog line (-log-level, -log-format), Prometheus metrics are
+// exposed at /metrics, the slowest recent requests with per-stage timings
+// at /v1/debug/slow, and -debug-addr starts a second, operator-only
+// listener carrying net/http/pprof (plus /metrics) that should stay on
+// loopback.
+//
+// See internal/server/README.md for the API, cacheability, budget, and
+// observability semantics, and `lolbench serve` (-scenario zipf) for the
+// load-generator experiments against this server.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +63,10 @@ func run() int {
 	nativeCacheDir := flag.String("native-cache-dir", "",
 		"directory for promoted binaries (default: lolserv-native under the OS temp dir)")
 	nativeBuilds := flag.Int("native-builds", 1, "concurrent background go builds for promotions")
+	logLevel := flag.String("log-level", "info", "request log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	debugAddr := flag.String("debug-addr", "",
+		"optional second listen address for pprof and /metrics (keep it on loopback)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lolserv [flags]\n")
 		flag.PrintDefaults()
@@ -81,6 +94,11 @@ func run() int {
 				*nativeThreshold, *nativeBuilds, nativeCache.Dir())
 		}
 	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lolserv: %v\n", err)
+		return 2
+	}
 	srv := server.New(server.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -94,6 +112,7 @@ func run() int {
 		NativeCache:     nativeCache,
 		NativeThreshold: *nativeThreshold,
 		NativeBuilds:    *nativeBuilds,
+		Logger:          logger,
 	})
 	defer srv.Close()
 	httpSrv := &http.Server{
@@ -107,6 +126,23 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	// The debug listener is separate from the API on purpose: pprof can
+	// stall the process and dump internals, so it binds where the operator
+	// says (loopback) and is never reachable through the public handler.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("lolserv: debug listener: %v", err)
+			}
+		}()
+		log.Printf("lolserv: debug listener (pprof, /metrics) on %s", *debugAddr)
+	}
 	log.Printf("lolserv: listening on %s (workers=%d queue=%d cache=%d result-cache=%d max-batch=%d max-np=%d timeout=%s)",
 		*addr, *workers, *queue, *cacheSize, *resultCache, *maxBatch, *maxNP, *timeout)
 
@@ -122,6 +158,9 @@ func run() int {
 	log.Printf("lolserv: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Close() // nothing in flight worth draining on the debug port
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("lolserv: shutdown: %v", err)
 		return 1
@@ -139,4 +178,23 @@ func run() int {
 			nt.Runs, nt.Promotions, nt.Unsupported, nt.BuildFailures, nt.Demotions, nt.Fallbacks)
 	}
 	return 0
+}
+
+// buildLogger assembles the request logger from the -log-level and
+// -log-format flags. Request logs go to stderr alongside the daemon's
+// own log lines.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
 }

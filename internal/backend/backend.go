@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/sema"
 	"repro/internal/shmem"
@@ -138,6 +139,7 @@ func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) er
 	}
 
 	res := &Result{SimNanos: make([]float64, cfg.NP)}
+	execStart := time.Now()
 	err := world.Run(func(pe *shmem.PE) error {
 		io := PEIO{Out: out.ForPE(pe.ID()), Err: errw.ForPE(pe.ID()), Stdin: stdin}
 		if err := body(pe, io); err != nil {
@@ -146,6 +148,7 @@ func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) er
 		res.SimNanos[pe.ID()] = pe.SimNanos()
 		return nil
 	})
+	execWall := time.Since(execStart)
 	out.Flush()
 	errw.Flush()
 	truncated := out.Truncated() || errw.Truncated()
@@ -164,9 +167,10 @@ func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) er
 		// The Result still carries output metadata (the launcher shows the
 		// partial output it captured); callers must treat a run with a
 		// non-nil error as failed regardless.
-		return &Result{OutputTruncated: truncated}, err
+		return &Result{OutputTruncated: truncated, ExecWall: execWall}, err
 	}
 	res.Stats = world.Stats()
 	res.OutputTruncated = truncated
+	res.ExecWall = execWall
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/shmem"
 	"repro/internal/token"
@@ -54,6 +55,11 @@ type Result struct {
 	SimNanos []float64 // per-PE simulated time under the cost model
 	// OutputTruncated reports that Config.MaxOutput dropped output bytes.
 	OutputTruncated bool
+	// ExecWall is the wall-clock time spent inside the SPMD run proper —
+	// PE execution between world start and teardown, excluding program
+	// preparation and output assembly — so callers can separate engine
+	// time from the plumbing around it.
+	ExecWall time.Duration
 }
 
 // RuntimeError is an execution error with its source position. All engines

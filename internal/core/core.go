@@ -146,6 +146,24 @@ func (p *Program) Run(cfg RunConfig) (*interp.Result, error) {
 	}
 }
 
+// Prepare builds the backend's prepared form ahead of Run — bytecode for
+// the VM, closures for the compiler, nothing for the interpreter. Run
+// does this lazily anyway; calling Prepare first makes the compilation
+// cost observable separately from execution (the server times it as its
+// own lifecycle stage). The prepared form is cached, so a second Prepare
+// or a following Run pays nothing.
+func (p *Program) Prepare(b Backend) error {
+	switch b {
+	case BackendVM:
+		_, err := p.Bytecode()
+		return err
+	case BackendCompile:
+		_, err := p.Compiled()
+		return err
+	}
+	return nil
+}
+
 // Compiled returns the closure-compiled form, building it on first use.
 // Safe for concurrent callers: compilation happens exactly once.
 func (p *Program) Compiled() (*compile.Program, error) {

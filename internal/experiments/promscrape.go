@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// The serve experiments report server-side latency attribution next to
+// the client-side numbers, and they get it the way an operator would: by
+// scraping GET /metrics and computing quantiles from the cumulative
+// histogram buckets (the same estimate Prometheus's histogram_quantile
+// yields). Parsing our own exposition doubles as an end-to-end check
+// that the format is consumable.
+
+// bucketSeries is one histogram's cumulative buckets for one labelset.
+type bucketSeries struct {
+	labels map[string]string // le excluded
+	bounds []float64         // finite bounds, ascending
+	cum    []uint64          // len(bounds)+1; last is +Inf
+}
+
+// obsScrape fetches baseURL+"/metrics" and derives the queue-wait p99
+// and the per-stage p99s (milliseconds, stages merged across tiers) from
+// the server's histograms.
+func obsScrape(client *http.Client, baseURL string) (queueWaitP99MS float64, stageP99MS map[string]float64, err error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0, nil, fmt.Errorf("scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("scraping /metrics: status %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("scraping /metrics: %w", err)
+	}
+
+	queue := parseBucketSeries(string(text), "lolserv_queue_wait_seconds")
+	if p99, ok := mergedQuantile(queue, nil, 0.99); ok {
+		queueWaitP99MS = 1000 * p99
+	}
+	stages := parseBucketSeries(string(text), "lolserv_stage_seconds")
+	names := map[string]bool{}
+	for _, s := range stages {
+		names[s.labels["stage"]] = true
+	}
+	stageP99MS = make(map[string]float64, len(names))
+	for name := range names {
+		if p99, ok := mergedQuantile(stages, map[string]string{"stage": name}, 0.99); ok {
+			stageP99MS[name] = 1000 * p99
+		}
+	}
+	return queueWaitP99MS, stageP99MS, nil
+}
+
+// printStageAttribution renders the scraped server-side attribution the
+// same way in every serve scenario's report.
+func printStageAttribution(w io.Writer, queueP99MS float64, stageP99MS map[string]float64) {
+	fmt.Fprintf(w, "%-26s p99 %.3fms\n", "queue wait (server):", queueP99MS)
+	order := []string{"admission", "result_cache", "queue_wait", "program_cache", "compile", "execute", "respond"}
+	var parts []string
+	for _, name := range order {
+		if v, ok := stageP99MS[name]; ok {
+			parts = append(parts, fmt.Sprintf("%s %.3f", name, v))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, "%-26s %s (ms)\n", "stage p99 (server):", strings.Join(parts, "   "))
+	}
+}
+
+// parseBucketSeries extracts metric's cumulative _bucket series from
+// Prometheus text exposition, one bucketSeries per distinct labelset.
+func parseBucketSeries(text, metric string) []bucketSeries {
+	type sample struct {
+		le  float64
+		cum uint64
+	}
+	prefix := metric + "_bucket{"
+	groups := map[string]*struct {
+		labels  map[string]string
+		samples []sample
+	}{}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		labels := parseLabels(rest[:end])
+		val, err := strconv.ParseUint(strings.TrimSpace(rest[end+2:]), 10, 64)
+		if err != nil {
+			continue
+		}
+		leStr, ok := labels["le"]
+		if !ok {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			var perr error
+			if le, perr = strconv.ParseFloat(leStr, 64); perr != nil {
+				continue
+			}
+		}
+		delete(labels, "le")
+		key := labelKey(labels)
+		g := groups[key]
+		if g == nil {
+			g = &struct {
+				labels  map[string]string
+				samples []sample
+			}{labels: labels}
+			groups[key] = g
+		}
+		g.samples = append(g.samples, sample{le: le, cum: val})
+	}
+
+	out := make([]bucketSeries, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g.samples, func(i, j int) bool { return g.samples[i].le < g.samples[j].le })
+		s := bucketSeries{labels: g.labels}
+		for _, smp := range g.samples {
+			if !math.IsInf(smp.le, 1) {
+				s.bounds = append(s.bounds, smp.le)
+			}
+			s.cum = append(s.cum, smp.cum)
+		}
+		if len(s.cum) == len(s.bounds)+1 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// parseLabels splits `a="x",b="y"` honouring the exposition's escapes.
+func parseLabels(s string) map[string]string {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=\"")
+		if eq < 0 {
+			break
+		}
+		name := s[:eq]
+		s = s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+		s = s[i:]
+		s = strings.TrimPrefix(s, "\"")
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// mergedQuantile merges every series whose labels include match (nil
+// matches all) and computes the q-quantile over the union. Series with
+// differing bucket layouts are skipped rather than mis-merged.
+func mergedQuantile(series []bucketSeries, match map[string]string, q float64) (float64, bool) {
+	var bounds []float64
+	var cum []uint64
+	for _, s := range series {
+		ok := true
+		for k, v := range match {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if bounds == nil {
+			bounds = s.bounds
+			cum = append([]uint64(nil), s.cum...)
+			continue
+		}
+		if len(s.bounds) != len(bounds) {
+			continue
+		}
+		same := true
+		for i := range bounds {
+			if s.bounds[i] != bounds[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		for i := range cum {
+			cum[i] += s.cum[i]
+		}
+	}
+	if bounds == nil || len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return 0, false
+	}
+	return obs.QuantileFromCumulative(bounds, cum, q), true
+}

@@ -114,6 +114,12 @@ func Serve(w io.Writer, clients, requests, workers int) (*ServeMetrics, error) {
 	elapsed := time.Since(start)
 
 	st := srv.Stats()
+	// Server-side attribution, read back through the same front door an
+	// operator's Prometheus would use.
+	queueP99, stageP99, err := obsScrape(client, ts.URL)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	total := clients * requests
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	m := &ServeMetrics{
@@ -125,6 +131,8 @@ func Serve(w io.Writer, clients, requests, workers int) (*ServeMetrics, error) {
 		ProgramCacheHitRate: st.Cache.HitRate(),
 		TierRates:           tierRates(st),
 		Failures:            failures,
+		QueueWaitP99MS:      queueP99,
+		StageP99MS:          stageP99,
 	}
 	fmt.Fprintf(w, "serve — lolserv load experiment (the production-service side of §VI's launcher)\n")
 	fmt.Fprintf(w, "%-26s %d clients x %d requests, %d workers, %d distinct programs x %d backends\n",
@@ -139,6 +147,7 @@ func Serve(w io.Writer, clients, requests, workers int) (*ServeMetrics, error) {
 			quantile(latencies, 0.50), quantile(latencies, 0.90),
 			quantile(latencies, 0.99), latencies[len(latencies)-1].Round(time.Microsecond))
 	}
+	printStageAttribution(w, queueP99, stageP99)
 	if firstErr != nil {
 		return nil, fmt.Errorf("serve: %d/%d requests failed; first failure: %w", failures, total, firstErr)
 	}

@@ -38,6 +38,12 @@ type ServeMetrics struct {
 	// execution tier (interp/vm/compile/native), 0..1 each.
 	TierRates map[string]float64 `json:"tier_rates,omitempty"`
 	Failures  int                `json:"failures"`
+	// QueueWaitP99MS and StageP99MS are server-side attribution, scraped
+	// from the measured server's GET /metrics histograms after the timed
+	// phase (the optimized phase for two-phase scenarios): how long jobs
+	// waited for a worker, and where request time went stage by stage.
+	QueueWaitP99MS float64            `json:"queue_wait_p99_ms,omitempty"`
+	StageP99MS     map[string]float64 `json:"stage_p99_ms,omitempty"`
 }
 
 // tierRates converts the server's per-tier counters into fractions.
@@ -106,8 +112,12 @@ func ServePromote(w io.Writer, clients, requests, workers int) (*ServeMetrics, e
 		Error   string
 	}
 
+	type phaseObs struct {
+		queueP99MS float64
+		stageP99MS map[string]float64
+	}
 	runPhase := func(opts server.Options) (reqps float64, lats []time.Duration,
-		bodies map[int64]semantic, nativeRuns int, st server.Stats, err error) {
+		bodies map[int64]semantic, nativeRuns int, st server.Stats, po phaseObs, err error) {
 		srv := server.New(opts)
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
@@ -144,17 +154,17 @@ func ServePromote(w io.Writer, clients, requests, workers int) (*ServeMetrics, e
 		if opts.NativeThreshold > 0 {
 			for i := 0; i < threshold+1; i++ {
 				if _, _, err = post(1); err != nil {
-					return 0, nil, nil, 0, st, fmt.Errorf("warm-up: %w", err)
+					return 0, nil, nil, 0, st, po, fmt.Errorf("warm-up: %w", err)
 				}
 			}
 			deadline := time.Now().Add(120 * time.Second)
 			for srv.Stats().Native.Ready == 0 {
 				if ns := srv.Stats().Native; ns.Unsupported > 0 || ns.BuildFailures > 0 {
-					return 0, nil, nil, 0, st, fmt.Errorf("warm-up: promotion failed (%d unsupported, %d build failures)",
+					return 0, nil, nil, 0, st, po, fmt.Errorf("warm-up: promotion failed (%d unsupported, %d build failures)",
 						ns.Unsupported, ns.BuildFailures)
 				}
 				if time.Now().After(deadline) {
-					return 0, nil, nil, 0, st, fmt.Errorf("warm-up: binary not ready after 120s")
+					return 0, nil, nil, 0, st, po, fmt.Errorf("warm-up: binary not ready after 120s")
 				}
 				time.Sleep(50 * time.Millisecond)
 			}
@@ -199,8 +209,14 @@ func ServePromote(w io.Writer, clients, requests, workers int) (*ServeMetrics, e
 		wg.Wait()
 		elapsed := time.Since(start)
 		st = srv.Stats()
+		// Scrape while the test server is still up: server-side queue and
+		// stage attribution for this phase, including the native execute
+		// stage once promotion has landed.
+		if po.queueP99MS, po.stageP99MS, err = obsScrape(client, ts.URL); err != nil {
+			return 0, nil, nil, 0, st, po, err
+		}
 		return float64(clients*requests) / elapsed.Seconds(), lats, bodies,
-			int(st.Tiers.Native), st, firstErr
+			int(st.Tiers.Native), st, po, firstErr
 	}
 
 	base := server.Options{Workers: workers, QueueDepth: clients * 4, CacheSize: 64}
@@ -208,11 +224,11 @@ func ServePromote(w io.Writer, clients, requests, workers int) (*ServeMetrics, e
 	promoted := base
 	promoted.NativeCache = nativeCache
 	promoted.NativeThreshold = threshold
-	natRPS, natLats, natBodies, nativeRuns, natStats, err := runPhase(promoted)
+	natRPS, natLats, natBodies, nativeRuns, natStats, natObs, err := runPhase(promoted)
 	if err != nil {
 		return nil, fmt.Errorf("servepromote (native): %w", err)
 	}
-	plainRPS, _, plainBodies, _, _, err := runPhase(base)
+	plainRPS, _, plainBodies, _, _, _, err := runPhase(base)
 	if err != nil {
 		return nil, fmt.Errorf("servepromote (threshold 0): %w", err)
 	}
@@ -236,6 +252,8 @@ func ServePromote(w io.Writer, clients, requests, workers int) (*ServeMetrics, e
 		ResultCacheHitRate:  natStats.ResultCache.HitRate(),
 		TierRates:           tierRates(natStats),
 		Failures:            total - len(natLats),
+		QueueWaitP99MS:      natObs.queueP99MS,
+		StageP99MS:          natObs.stageP99MS,
 	}
 
 	nt := natStats.Native
@@ -248,5 +266,6 @@ func ServePromote(w io.Writer, clients, requests, workers int) (*ServeMetrics, e
 		"native tier:", nativeRuns, total, nt.Promotions, nt.Fallbacks, nt.Demotions)
 	fmt.Fprintf(w, "%-26s p50 %s   p90 %s   p99 %s\n", "request latency (native):",
 		quantile(natLats, 0.50), quantile(natLats, 0.90), quantile(natLats, 0.99))
+	printStageAttribution(w, natObs.queueP99MS, natObs.stageP99MS)
 	return m, nil
 }

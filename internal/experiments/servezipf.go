@@ -63,7 +63,11 @@ KTHXBYE`, 2000+1000*k)
 	}
 
 	const batchLen = 25
-	runPhase := func(resultCache int) (reqps float64, bodies map[int]semantic, st server.Stats, err error) {
+	type phaseObs struct {
+		queueP99MS float64
+		stageP99MS map[string]float64
+	}
+	runPhase := func(resultCache int) (reqps float64, bodies map[int]semantic, st server.Stats, po phaseObs, err error) {
 		srv := server.New(server.Options{
 			Workers:         workers,
 			QueueDepth:      clients * batchLen * 2,
@@ -150,14 +154,19 @@ KTHXBYE`, 2000+1000*k)
 		wg.Wait()
 		elapsed := time.Since(start)
 		st = srv.Stats()
-		return float64(clients*requests) / elapsed.Seconds(), bodies, st, firstErr
+		// Scrape while the test server is still up: server-side queue and
+		// stage attribution for this phase.
+		if po.queueP99MS, po.stageP99MS, err = obsScrape(client, ts.URL); err != nil {
+			return 0, nil, st, po, err
+		}
+		return float64(clients*requests) / elapsed.Seconds(), bodies, st, po, firstErr
 	}
 
-	cachedRPS, cachedBodies, cachedStats, err := runPhase(0 /* default size */)
+	cachedRPS, cachedBodies, cachedStats, cachedObs, err := runPhase(0 /* default size */)
 	if err != nil {
 		return nil, fmt.Errorf("servezipf (cache on): %w", err)
 	}
-	plainRPS, plainBodies, plainStats, err := runPhase(-1 /* -result-cache=0 */)
+	plainRPS, plainBodies, plainStats, _, err := runPhase(-1 /* -result-cache=0 */)
 	if err != nil {
 		return nil, fmt.Errorf("servezipf (cache off): %w", err)
 	}
@@ -179,6 +188,8 @@ KTHXBYE`, 2000+1000*k)
 		ProgramCacheHitRate: cachedStats.Cache.HitRate(),
 		ResultCacheHitRate:  rc.HitRate(),
 		TierRates:           tierRates(cachedStats),
+		QueueWaitP99MS:      cachedObs.queueP99MS,
+		StageP99MS:          cachedObs.stageP99MS,
 	}
 	fmt.Fprintf(w, "servezipf — hot-key batch workload over /v1/batch (result cache on vs -result-cache=0)\n")
 	fmt.Fprintf(w, "%-26s %d clients x %d jobs in batches of %d; zipf(1.4) over %d programs x NP{1,2,3}; %d workers\n",
@@ -188,5 +199,6 @@ KTHXBYE`, 2000+1000*k)
 	fmt.Fprintf(w, "%-26s %d hits + %d coalesced + %d misses over %d jobs (%.1f%% served without executing; %d executions vs %d uncached)\n",
 		"result cache:", rc.Hits, rc.Coalesced, rc.Misses, total,
 		100*float64(rc.Hits+rc.Coalesced)/float64(total), cachedStats.JobsRun, plainStats.JobsRun)
+	printStageAttribution(w, cachedObs.queueP99MS, cachedObs.stageP99MS)
 	return m, nil
 }

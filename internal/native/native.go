@@ -138,6 +138,27 @@ func (c *Cache) PathFor(sha string) string {
 	return filepath.Join(c.dir, sha+"."+gogen.Version+".bin")
 }
 
+// DiskUsage reports the total size and count of cached binaries on disk,
+// across every gogen version — stale-version binaries still occupy the
+// disk, so they belong in the gauge. Errors (cache directory removed out
+// from under us) report zero rather than failing a stats scrape.
+func (c *Cache) DiskUsage() (bytes int64, entries int) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".bin") {
+			continue
+		}
+		if fi, err := de.Info(); err == nil && fi.Mode().IsRegular() {
+			bytes += fi.Size()
+			entries++
+		}
+	}
+	return bytes, entries
+}
+
 // Lookup reports whether a binary for sha is already on disk — including
 // binaries built by a previous server process.
 func (c *Cache) Lookup(sha string) (string, bool) {

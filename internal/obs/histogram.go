@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency bucket layout: exponential base-2
+// bounds from 1µs to ~33s, covering everything from a result-cache
+// lookup to the server's maximum job timeout (30s) in 26 buckets.
+var DefBuckets = ExpBuckets(1e-6, 2, 26)
+
+// ExpBuckets returns n exponential bucket upper bounds: start, start*
+// factor, start*factor², …. Panics on nonsense arguments.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// one binary search over the bounds plus two atomic ops. Bounds are
+// upper bounds in le (less-or-equal) semantics, with an implicit +Inf
+// bucket at the end; observations are in seconds by convention.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds
+// (must be sorted ascending; nil uses DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds not sorted")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the le bucket
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram state. Concurrent Observes may land
+// between bucket reads — each observation is atomically in or out of a
+// bucket, so counts never tear, but a snapshot taken mid-burst can be
+// off by the in-flight observations; totals reconcile at quiescence.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := uint64(h.counts[i].Load())
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: per-bucket (non-
+// cumulative) counts aligned with Bounds plus the +Inf bucket at the
+// end. Snapshots with equal Bounds are mergeable, and quantiles are
+// derived from the buckets.
+type HistSnapshot struct {
+	Bounds []float64 // bucket upper bounds, ascending, +Inf implicit
+	Counts []uint64  // len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// Merge adds other's counts into s. The two snapshots must share bucket
+// bounds (histograms from one Vec family always do).
+func (s *HistSnapshot) Merge(other HistSnapshot) error {
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(s.Bounds), len(other.Bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != other.Bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bounds at %d: %v vs %v", i, b, other.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	return nil
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the bucket holding the target rank — the same estimate
+// Prometheus's histogram_quantile computes from the _bucket series.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	cum := make([]uint64, len(s.Counts))
+	var total uint64
+	for i, c := range s.Counts {
+		total += c
+		cum[i] = total
+	}
+	return QuantileFromCumulative(s.Bounds, cum, q)
+}
+
+// QuantileFromCumulative estimates the q-quantile from cumulative
+// bucket counts (cum[i] = observations <= Bounds[i]; the final element
+// is the +Inf total). Shared by in-process snapshots and scrapers that
+// parse the exposition's cumulative _bucket series. Returns 0 for an
+// empty histogram; an answer landing in the +Inf bucket returns the
+// largest finite bound (the histogram cannot resolve beyond it).
+func QuantileFromCumulative(bounds []float64, cum []uint64, q float64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := cum[len(cum)-1]
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			if i >= len(bounds) { // +Inf bucket
+				return bounds[len(bounds)-1]
+			}
+			lower, prev := 0.0, uint64(0)
+			if i > 0 {
+				lower, prev = bounds[i-1], cum[i-1]
+			}
+			inBucket := float64(c - prev)
+			if inBucket == 0 {
+				return bounds[i]
+			}
+			return lower + (bounds[i]-lower)*((rank-float64(prev))/inBucket)
+		}
+	}
+	return bounds[len(bounds)-1]
+}

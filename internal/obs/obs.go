@@ -1,0 +1,416 @@
+// Package obs is the dependency-free observability layer behind lolserv:
+// metric primitives (atomic counters, gauges, fixed-bucket latency
+// histograms with mergeable snapshots), a named registry that serves the
+// Prometheus text exposition format, per-request lifecycle spans with
+// stage timings, and a bounded ring of the slowest recent requests.
+//
+// The package deliberately reimplements the small subset of a metrics
+// client library this repository needs rather than importing one: the
+// container bakes no external modules, and the serving path only needs
+// lock-free counters, a histogram whose quantiles are derivable from its
+// buckets, and a text writer. Everything is safe for concurrent use; the
+// hot-path operations (Counter.Add, Histogram.Observe) are a single
+// atomic op plus, for histograms, one binary search over ~26 bucket
+// bounds.
+//
+// Conventions follow Prometheus: counters end in _total, histograms
+// observe seconds, and a histogram family exposes cumulative _bucket
+// series (le-labeled), _sum, and _count. Instrument values can also be
+// read back programmatically (Load, Snapshot) so the same counters feed
+// both GET /metrics and the JSON /v1/stats endpoint without double
+// bookkeeping.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; embed it by value and register it with
+// Registry.RegisterCounter, or create a registered one with
+// Registry.Counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0 for the exposition to
+// stay a valid Prometheus counter; this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load reads the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight jobs).
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metric is one registered family: a name plus the ability to write its
+// exposition block.
+type metric interface {
+	metricName() string
+	writeExpo(w *bufio.Writer)
+}
+
+// Registry is a named set of metric families served in Prometheus text
+// exposition format. Registration is concurrency-safe; registering two
+// families under one name panics (a programming error, like a duplicate
+// flag). Each Server owns its own Registry so tests and experiments can
+// run many servers in one process without name collisions.
+type Registry struct {
+	mu       sync.Mutex
+	families []metric
+	names    map[string]bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.metricName()] {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", m.metricName()))
+	}
+	r.names[m.metricName()] = true
+	r.families = append(r.families, m)
+}
+
+// Counter creates and registers a counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, c)
+	return c
+}
+
+// RegisterCounter registers an existing counter (typically a by-value
+// field of some owning struct) under name.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.register(&counterFamily{name: name, help: help, c: c})
+}
+
+// Gauge creates and registers a gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, help, g)
+	return g
+}
+
+// RegisterGauge registers an existing gauge under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.register(&gaugeFamily{name: name, help: help, g: g})
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time (disk
+// usage, uptime, sizes guarded by someone else's lock). fn must be safe
+// for concurrent calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&gaugeFuncFamily{name: name, help: help, fn: fn})
+}
+
+// Histogram creates and registers a histogram family with the given
+// bucket upper bounds (see ExpBuckets; nil uses DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&histFamily{name: name, help: help, h: h})
+	return h
+}
+
+// CounterVec creates and registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, labels: labels, children: make(map[string]*counterChild)}
+	r.register(&counterVecFamily{name: name, help: help, v: v})
+	return v
+}
+
+// HistogramVec creates and registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	v := &HistogramVec{name: name, labels: labels, bounds: bounds, children: make(map[string]*histChild)}
+	r.register(&histVecFamily{name: name, help: help, v: v})
+	return v
+}
+
+// WritePrometheus writes every family in text exposition format, sorted
+// by name so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]metric, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].metricName() < fams[j].metricName() })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeExpo(bw)
+	}
+	bw.Flush()
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	name   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*counterChild
+}
+
+type counterChild struct {
+	values []string
+	c      Counter
+}
+
+// With returns the child counter for the given label values (created on
+// first use), which callers should cache when the label set is static —
+// the lookup is a map access under an RLock.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &v.child(values).c
+}
+
+func (v *CounterVec) child(values []string) *counterChild {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return ch
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; ok {
+		return ch
+	}
+	ch = &counterChild{values: append([]string(nil), values...)}
+	v.children[key] = ch
+	return ch
+}
+
+// HistogramVec is a histogram family partitioned by label values; every
+// child shares the family's bucket bounds, so children merge.
+type HistogramVec struct {
+	name   string
+	labels []string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*histChild
+}
+
+type histChild struct {
+	values []string
+	h      *Histogram
+}
+
+// With returns the child histogram for the given label values, created
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return ch.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; ok {
+		return ch.h
+	}
+	ch = &histChild{values: append([]string(nil), values...), h: NewHistogram(v.bounds)}
+	v.children[key] = ch
+	return ch.h
+}
+
+// snapshotChildren returns the children in deterministic label order.
+func (v *HistogramVec) snapshotChildren() []*histChild {
+	v.mu.RLock()
+	out := make([]*histChild, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\xff") < strings.Join(out[j].values, "\xff")
+	})
+	return out
+}
+
+func (v *CounterVec) snapshotChildren() []*counterChild {
+	v.mu.RLock()
+	out := make([]*counterChild, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\xff") < strings.Join(out[j].values, "\xff")
+	})
+	return out
+}
+
+// ---- exposition ----
+
+type counterFamily struct {
+	name, help string
+	c          *Counter
+}
+
+func (f *counterFamily) metricName() string { return f.name }
+func (f *counterFamily) writeExpo(w *bufio.Writer) {
+	header(w, f.name, f.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", f.name, f.c.Load())
+}
+
+type gaugeFamily struct {
+	name, help string
+	g          *Gauge
+}
+
+func (f *gaugeFamily) metricName() string { return f.name }
+func (f *gaugeFamily) writeExpo(w *bufio.Writer) {
+	header(w, f.name, f.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", f.name, f.g.Load())
+}
+
+type gaugeFuncFamily struct {
+	name, help string
+	fn         func() float64
+}
+
+func (f *gaugeFuncFamily) metricName() string { return f.name }
+func (f *gaugeFuncFamily) writeExpo(w *bufio.Writer) {
+	header(w, f.name, f.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+}
+
+type counterVecFamily struct {
+	name, help string
+	v          *CounterVec
+}
+
+func (f *counterVecFamily) metricName() string { return f.name }
+func (f *counterVecFamily) writeExpo(w *bufio.Writer) {
+	header(w, f.name, f.help, "counter")
+	for _, ch := range f.v.snapshotChildren() {
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.v.labels, ch.values, ""), ch.c.Load())
+	}
+}
+
+type histFamily struct {
+	name, help string
+	h          *Histogram
+}
+
+func (f *histFamily) metricName() string { return f.name }
+func (f *histFamily) writeExpo(w *bufio.Writer) {
+	header(w, f.name, f.help, "histogram")
+	writeHist(w, f.name, nil, nil, f.h.Snapshot())
+}
+
+type histVecFamily struct {
+	name, help string
+	v          *HistogramVec
+}
+
+func (f *histVecFamily) metricName() string { return f.name }
+func (f *histVecFamily) writeExpo(w *bufio.Writer) {
+	header(w, f.name, f.help, "histogram")
+	for _, ch := range f.v.snapshotChildren() {
+		writeHist(w, f.name, f.v.labels, ch.values, ch.h.Snapshot())
+	}
+}
+
+// writeHist writes one labelset's cumulative _bucket series plus _sum
+// and _count.
+func writeHist(w *bufio.Writer, name string, labels, values []string, s HistSnapshot) {
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, values, formatFloat(b)), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, values, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels, values, ""), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels, values, ""), cum)
+}
+
+func header(w *bufio.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// labelString renders {k="v",...}, appending an le pair when le is
+// non-empty; empty label sets render as "".
+func labelString(labels, values []string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders values the way Prometheus expects: shortest
+// round-trip representation.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

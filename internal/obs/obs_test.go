@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	// 50 obs in the first bucket, 30 in the second, 15 in the third,
+	// 4 in the fourth, 1 in +Inf.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 15; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(5)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	wantSum := 50*0.0005 + 30*0.005 + 15*0.05 + 4*0.5 + 5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	// p50 must land in the first bucket, p90 in the third, p99 in the
+	// fourth: the quantile is derived from buckets, so assert bucket
+	// membership, not exact values.
+	if p50 := s.Quantile(0.50); p50 <= 0 || p50 > 0.001 {
+		t.Errorf("p50 = %v, want within (0, 0.001]", p50)
+	}
+	if p90 := s.Quantile(0.90); p90 <= 0.01 || p90 > 0.1 {
+		t.Errorf("p90 = %v, want within (0.01, 0.1]", p90)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want within (0.1, 1]", p99)
+	}
+	// An observation beyond every bound sits in +Inf; the quantile
+	// saturates at the largest finite bound.
+	if p100 := s.Quantile(1); p100 != 1 {
+		t.Errorf("p100 = %v, want saturation at 1", p100)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(10)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 3 || sa.Counts[0] != 1 || sa.Counts[1] != 1 || sa.Counts[2] != 1 {
+		t.Errorf("merged counts = %+v, want one per bucket", sa)
+	}
+	if math.Abs(sa.Sum-12) > 1e-9 {
+		t.Errorf("merged sum = %v, want 12", sa.Sum)
+	}
+	other := NewHistogram([]float64{1, 3}).Snapshot()
+	if err := sa.Merge(other); err == nil {
+		t.Error("merging different bounds did not error")
+	}
+}
+
+// TestHistogramConcurrent is the race-mode satellite: hammer Observe
+// from many goroutines while snapshots are taken, then require that no
+// observation was lost.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	h := NewHistogram(DefBuckets)
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() { // concurrent reader: snapshots must never tear or panic
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var n uint64
+				for _, c := range s.Counts {
+					n += c
+				}
+				if n != s.Count {
+					t.Errorf("snapshot count %d != bucket total %d", s.Count, n)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	if got := h.Snapshot().Count; got != writers*perW {
+		t.Errorf("lost observations: count = %d, want %d", got, writers*perW)
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter(fmt.Sprintf("c%d_total", i), "concurrent")
+			c.Add(int64(i))
+		}(i)
+	}
+	wg.Wait()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	for i := 0; i < 32; i++ {
+		want := fmt.Sprintf("c%d_total %d\n", i, i)
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", strings.TrimSpace(want))
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+// TestExposition parses the registry's own output: HELP/TYPE headers,
+// cumulative monotone buckets, le="+Inf" equal to _count, and label
+// escaping.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs").Add(3)
+	r.Gauge("depth", "queue depth").Set(-2)
+	r.GaugeFunc("uptime_seconds", "uptime", func() float64 { return 1.5 })
+	cv := r.CounterVec("outcomes_total", "by outcome", "outcome")
+	cv.With("ok").Add(2)
+	cv.With(`we"ird`).Inc()
+	hv := r.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "stage")
+	hv.With("execute").Observe(0.05)
+	hv.With("execute").Observe(0.5)
+	hv.With("execute").Observe(50)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP jobs_total jobs\n# TYPE jobs_total counter\njobs_total 3\n",
+		"depth -2\n",
+		"uptime_seconds 1.5\n",
+		`outcomes_total{outcome="ok"} 2`,
+		`outcomes_total{outcome="we\"ird"} 1`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{stage="execute",le="0.1"} 1`,
+		`lat_seconds_bucket{stage="execute",le="1"} 2`,
+		`lat_seconds_bucket{stage="execute",le="+Inf"} 3`,
+		`lat_seconds_sum{stage="execute"} 50.55`,
+		`lat_seconds_count{stage="execute"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Every _bucket series must be monotonically non-decreasing in le
+	// order (they are cumulative), every value a valid float.
+	var prev uint64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+		}
+		if strings.Contains(fields[0], "_bucket{") {
+			v, _ := strconv.ParseUint(fields[1], 10, 64)
+			if strings.Contains(fields[0], `le="0.1"`) {
+				prev = v // first bucket of the only histogram series
+			} else if v < prev {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			} else {
+				prev = v
+			}
+		}
+	}
+}
+
+func TestQuantileFromCumulativeEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if got := QuantileFromCumulative(bounds, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// All mass in one bucket: interpolation stays inside (1, 2].
+	cum := []uint64{0, 10, 10, 10}
+	if got := QuantileFromCumulative(bounds, cum, 0.5); got <= 1 || got > 2 {
+		t.Errorf("q0.5 = %v, want within (1, 2]", got)
+	}
+	// Mass in +Inf only: saturate at the largest finite bound.
+	if got := QuantileFromCumulative(bounds, []uint64{0, 0, 0, 5}, 0.99); got != 4 {
+		t.Errorf("+Inf quantile = %v, want 4", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.Record("execute", time.Second) // must not panic
+	nilSpan.SetJob("vm", "native", "ok")
+	if snap := nilSpan.Snapshot(); snap.ID != "" || len(snap.Stages) != 0 {
+		t.Errorf("nil span snapshot = %+v, want zero", snap)
+	}
+
+	sp := NewSpan("req1", "/v1/run")
+	sp.Record("queue_wait", 2*time.Millisecond)
+	sp.Record("execute", 10*time.Millisecond)
+	sp.SetJob("interp", "native", "ok")
+	snap := sp.Snapshot()
+	if snap.ID != "req1" || snap.Endpoint != "/v1/run" || snap.Tier != "native" || snap.Outcome != "ok" {
+		t.Errorf("snapshot labels wrong: %+v", snap)
+	}
+	if got := snap.StageMS("execute"); got != 10 {
+		t.Errorf("execute stage = %vms, want 10", got)
+	}
+	if snap.TotalMS < 0 {
+		t.Errorf("negative total %v", snap.TotalMS)
+	}
+
+	// Concurrent Record vs Snapshot must be race-clean.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp.Record("respond", time.Microsecond)
+				_ = sp.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := t.Context()
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("span in empty context: %v", got)
+	}
+	sp := NewSpan(NewRequestID(), "/v1/batch")
+	if got := FromContext(WithSpan(ctx, sp)); got != sp {
+		t.Errorf("FromContext = %v, want %v", got, sp)
+	}
+	if id := sp.ID(); len(id) != 16 {
+		t.Errorf("request id %q, want 16 hex chars", id)
+	}
+}
+
+func TestSlowRing(t *testing.T) {
+	r := NewSlowRing(4)
+	if got := r.Slowest(10); len(got) != 0 {
+		t.Errorf("empty ring returned %d entries", len(got))
+	}
+	for i := 1; i <= 6; i++ { // 1..6; window keeps 3,4,5,6
+		r.Offer(SpanSnapshot{ID: fmt.Sprint(i), Total: time.Duration(i) * time.Millisecond})
+	}
+	got := r.Slowest(2)
+	if len(got) != 2 || got[0].ID != "6" || got[1].ID != "5" {
+		t.Errorf("slowest = %+v, want 6 then 5", got)
+	}
+	all := r.Slowest(0)
+	if len(all) != 4 {
+		t.Errorf("window holds %d, want 4", len(all))
+	}
+	for _, s := range all {
+		if s.ID == "1" || s.ID == "2" {
+			t.Errorf("entry %s should have aged out of the window", s.ID)
+		}
+	}
+
+	// Concurrent offers are race-clean and never exceed the window.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Offer(SpanSnapshot{Total: time.Duration(j)})
+				r.Slowest(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Slowest(0)); got != 4 {
+		t.Errorf("ring grew to %d, want 4", got)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// SlowRing keeps the last `window` request snapshots and answers "which
+// recent requests were slowest?" — the /v1/debug/slow data source. A
+// ring of recent requests (rather than an all-time top-N heap) is
+// deliberate: an incident's slow requests age out of the window once
+// traffic recovers, so the endpoint always describes the near past, not
+// a record set during a deploy three days ago.
+type SlowRing struct {
+	mu   sync.Mutex
+	buf  []SpanSnapshot
+	next int
+	full bool
+}
+
+// NewSlowRing builds a ring over the last window requests (minimum 1).
+func NewSlowRing(window int) *SlowRing {
+	if window < 1 {
+		window = 1
+	}
+	return &SlowRing{buf: make([]SpanSnapshot, window)}
+}
+
+// Offer records one completed request.
+func (r *SlowRing) Offer(s SpanSnapshot) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Slowest returns up to n snapshots from the window, slowest first.
+func (r *SlowRing) Slowest(n int) []SpanSnapshot {
+	r.mu.Lock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	out := make([]SpanSnapshot, size)
+	copy(out, r.buf[:size])
+	r.mu.Unlock()
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

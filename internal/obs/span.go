@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Span records one request's lifecycle: a request ID, the endpoint, and
+// the durations of the stages the request passed through (admission,
+// queue wait, cache lookups, compile, execute, respond — the stage
+// vocabulary belongs to the caller). Spans ride a context through the
+// serving path; every method is safe on a nil *Span, so code records
+// stages unconditionally and uninstrumented callers pay one nil check.
+type Span struct {
+	id       string
+	endpoint string
+	start    time.Time
+
+	mu      sync.Mutex
+	backend string
+	tier    string
+	outcome string
+	stages  []Stage
+}
+
+// Stage is one recorded lifecycle segment.
+type Stage struct {
+	Name string        `json:"stage"`
+	Dur  time.Duration `json:"-"`
+	MS   float64       `json:"ms"`
+}
+
+// NewSpan starts a span now. id is typically a request ID (NewRequestID)
+// and endpoint the route that is serving the request.
+func NewSpan(id, endpoint string) *Span {
+	return &Span{id: id, endpoint: endpoint, start: time.Now()}
+}
+
+// ID returns the span's request ID ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Record appends a stage duration.
+func (s *Span) Record(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stages = append(s.stages, Stage{Name: name, Dur: d, MS: ms(d)})
+	s.mu.Unlock()
+}
+
+// SetJob labels the span with the job's backend, executing tier, and
+// outcome (any may be empty).
+func (s *Span) SetJob(backend, tier, outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.backend, s.tier, s.outcome = backend, tier, outcome
+	s.mu.Unlock()
+}
+
+// Snapshot copies the span's current state; Total is the elapsed wall
+// clock since the span started. Returns the zero snapshot on nil.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	total := time.Since(s.start)
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		ID: s.id, Endpoint: s.endpoint, Start: s.start,
+		Backend: s.backend, Tier: s.tier, Outcome: s.outcome,
+		Total: total, TotalMS: ms(total),
+		Stages: append([]Stage(nil), s.stages...),
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// SpanSnapshot is an immutable copy of a finished (or in-flight) span —
+// the shape /v1/debug/slow serves.
+type SpanSnapshot struct {
+	ID       string        `json:"id"`
+	Endpoint string        `json:"endpoint"`
+	Backend  string        `json:"backend,omitempty"`
+	Tier     string        `json:"tier,omitempty"`
+	Outcome  string        `json:"outcome,omitempty"`
+	Start    time.Time     `json:"start"`
+	Total    time.Duration `json:"-"`
+	TotalMS  float64       `json:"total_ms"`
+	Stages   []Stage       `json:"stages"`
+}
+
+// StageMS returns the recorded duration of the named stage in
+// milliseconds, summing repeats, 0 when absent.
+func (s SpanSnapshot) StageMS(name string) float64 {
+	var total float64
+	for _, st := range s.Stages {
+		if st.Name == name {
+			total += st.MS
+		}
+	}
+	return total
+}
+
+type spanCtxKey struct{}
+
+// WithSpan attaches a span to a context.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the context's span, nil when absent — and nil is
+// a valid receiver for every Span method.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // never fails (crypto/rand panics internally if the OS source is broken)
+	return hex.EncodeToString(b[:])
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -2,7 +2,10 @@ package server
 
 import (
 	"context"
+	"strconv"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // BatchRequest is one POST /v1/batch body: a whole assignment's worth of
@@ -44,6 +47,14 @@ func (s *Server) batchParallelism() int {
 // still running (they report OutcomeCancelled).
 func (s *Server) RunBatch(ctx context.Context, jobs []RunRequest) <-chan BatchItem {
 	s.batchesRun.Add(1)
+	// Each job gets a child span (request ID "<parent>.<index>") so its
+	// lifecycle stages land in the histograms and the slow ring exactly
+	// like a /v1/run job's would; the batch envelope's own span records
+	// no job stages and is never double-counted.
+	parentID := obs.FromContext(ctx).ID()
+	if parentID == "" {
+		parentID = obs.NewRequestID()
+	}
 	out := make(chan BatchItem)
 	go func() {
 		defer close(out)
@@ -55,7 +66,10 @@ func (s *Server) RunBatch(ctx context.Context, jobs []RunRequest) <-chan BatchIt
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				out <- BatchItem{Index: i, RunResponse: s.Run(ctx, jobs[i])}
+				sp := obs.NewSpan(parentID+"."+strconv.Itoa(i), "/v1/batch")
+				resp := s.Run(obs.WithSpan(ctx, sp), jobs[i])
+				s.metrics.finishSpan(sp.Snapshot())
+				out <- BatchItem{Index: i, RunResponse: resp}
 			}(i)
 		}
 		wg.Wait()

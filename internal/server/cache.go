@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Key identifies a program in the cache: the SHA-256 of its exact source
@@ -42,13 +43,15 @@ type cacheEntry struct {
 // without recompilation; hit/miss counters are exposed for the /v1/stats
 // endpoint and the lolbench serve experiment.
 type Cache struct {
-	mu      sync.Mutex
-	max     int
-	ll      *list.List // front = most recently used; values are *lruItem
-	items   map[Key]*list.Element
-	hits    atomic.Int64
-	misses  atomic.Int64
-	evicted atomic.Int64
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *lruItem
+	items map[Key]*list.Element
+	// obs.Counter rather than bare atomics so the server registers the
+	// fields directly on its metrics registry (see newServerMetrics).
+	hits    obs.Counter
+	misses  obs.Counter
+	evicted obs.Counter
 }
 
 type lruItem struct {

@@ -5,12 +5,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/native"
+	"repro/internal/obs"
 )
 
 // nativeStepsPerSecond converts a per-PE step budget into the native
@@ -66,12 +66,12 @@ type nativeTier struct {
 	mu    sync.Mutex
 	progs map[Key]*nativeProg
 
-	promotions    atomic.Int64 // binaries built (or adopted from disk)
-	buildFailures atomic.Int64
-	unsupported   atomic.Int64
-	demotions     atomic.Int64
-	runs          atomic.Int64
-	fallbacks     atomic.Int64 // tier failures that re-ran in-process
+	promotions    obs.Counter // binaries built (or adopted from disk)
+	buildFailures obs.Counter
+	unsupported   obs.Counter
+	demotions     obs.Counter
+	runs          obs.Counter
+	fallbacks     obs.Counter // tier failures that re-ran in-process
 }
 
 type nativeBuildJob struct {
@@ -237,6 +237,8 @@ func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, bin str
 		NP: req.NP, Seed: req.Seed, Stdin: req.Stdin, MaxOutput: s.opts.MaxOutputBytes,
 	})
 	s.inFlight.Add(-1)
+	wall := time.Since(start)
+	obs.FromContext(ctx).Record(stageExecute, wall)
 
 	var te *native.TierError
 	if errors.As(runErr, &te) {
@@ -250,8 +252,8 @@ func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, bin str
 
 	s.jobsRun.Add(1)
 	s.native.runs.Add(1)
-	s.tierNative.Add(1)
-	resp.WallMS = msSince(start)
+	s.metrics.execNative.Inc()
+	resp.WallMS = ms(wall)
 	resp.Tier = "native"
 	if runErr != nil { // context kill: deadline, budget approximation, or client
 		s.jobsFailed.Add(1)
@@ -293,12 +295,20 @@ type NativeStats struct {
 	Demotions     int64 `json:"demotions"`
 	Runs          int64 `json:"runs"`
 	Fallbacks     int64 `json:"fallbacks"`
+	// CacheBytes and CacheEntries report the on-disk binary cache —
+	// every gogen version's binaries, since stale versions still occupy
+	// disk until cleaned.
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheEntries int   `json:"cache_entries"`
 }
 
 func (nt *nativeTier) stats() NativeStats {
+	bytes, entries := nt.cache.DiskUsage()
 	st := NativeStats{
 		Enabled:       true,
 		Threshold:     nt.threshold,
+		CacheBytes:    bytes,
+		CacheEntries:  entries,
 		Promotions:    nt.promotions.Load(),
 		BuildFailures: nt.buildFailures.Load(),
 		Unsupported:   nt.unsupported.Load(),

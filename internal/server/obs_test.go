@@ -1,0 +1,510 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gogen"
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches /metrics and returns the exposition body.
+func scrapeMetrics(t *testing.T, client *http.Client, baseURL string) string {
+	t.Helper()
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content-type %q, want text/plain exposition", ct)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	return string(text)
+}
+
+// metricValue finds `name value` or `name{labels} value` in exposition
+// text, matching the series whose labels contain every want pair.
+func metricValue(t *testing.T, text, name string, want map[string]string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if strings.HasPrefix(rest, " ") && len(want) == 0 {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+		if !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		labels := rest[1:end]
+		ok := true
+		for k, v := range want {
+			if !strings.Contains(labels, fmt.Sprintf("%s=%q", k, v)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest[end+2:]), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s%v not found in exposition", name, want)
+	return 0
+}
+
+// TestRequestIDPropagation: every response carries X-Request-Id; an
+// inbound ID survives the round trip (so IDs assigned by a proxy stay
+// greppable end to end), an absent or oversized one is replaced.
+func TestRequestIDPropagation(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(hdr string) *http.Response {
+		body, _ := json.Marshal(RunRequest{Src: helloSrc, NP: 1})
+		req, err := http.NewRequest("POST", ts.URL+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set("X-Request-Id", hdr)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := post("").Header.Get("X-Request-Id"); got == "" {
+		t.Error("no inbound ID: response should carry a generated X-Request-Id")
+	}
+	if got := post("trace-abc-123").Header.Get("X-Request-Id"); got != "trace-abc-123" {
+		t.Errorf("inbound ID not echoed: got %q, want trace-abc-123", got)
+	}
+	huge := strings.Repeat("x", 200)
+	if got := post(huge).Header.Get("X-Request-Id"); got == huge || got == "" {
+		t.Errorf("oversized inbound ID should be replaced, got %q", got)
+	}
+}
+
+// TestRequestLogLine: each HTTP request produces exactly one structured
+// log record carrying the request ID, status, and per-stage latencies.
+func TestRequestLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	locked := slog.New(slog.NewJSONHandler(lockedWriter{&buf, &mu}, nil))
+	s := New(Options{Workers: 2, Logger: locked})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(RunRequest{Src: helloSrc, NP: 2, Backend: "vm"})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/run", bytes.NewReader(body))
+	req.Header.Set("X-Request-Id", "log-line-test")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 log line, got %d:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, lines[0])
+	}
+	for k, want := range map[string]any{
+		"msg": "request", "id": "log-line-test", "path": "/v1/run",
+		"status": float64(200), "tier": "vm", "outcome": "ok",
+	} {
+		if rec[k] != want {
+			t.Errorf("log[%q] = %v, want %v", k, rec[k], want)
+		}
+	}
+	if _, ok := rec["total_ms"]; !ok {
+		t.Error("log line missing total_ms")
+	}
+	for _, stage := range []string{"execute_ms", "queue_wait_ms"} {
+		if _, ok := rec[stage]; !ok {
+			t.Errorf("log line missing stage attribute %s", stage)
+		}
+	}
+}
+
+type lockedWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// TestHealthzIdentity: the liveness probe reports enough build identity
+// to tell which server is answering.
+func TestHealthzIdentity(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status      string  `json:"status"`
+		Go          string  `json:"go"`
+		Gogen       string  `json:"gogen"`
+		UptimeS     float64 `json:"uptime_s"`
+		NativeTier  bool    `json:"native_tier"`
+		ResultCache bool    `json:"result_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.Go != runtime.Version() {
+		t.Errorf("go = %q, want %q", h.Go, runtime.Version())
+	}
+	if h.Gogen != gogen.Version {
+		t.Errorf("gogen = %q, want %q", h.Gogen, gogen.Version)
+	}
+	if h.UptimeS < 0 {
+		t.Errorf("uptime_s = %v", h.UptimeS)
+	}
+	if h.NativeTier {
+		t.Error("native_tier should be false without a native cache")
+	}
+	if !h.ResultCache {
+		t.Error("result_cache should be true by default")
+	}
+}
+
+// TestMetricsExposition drives jobs across tiers and asserts the
+// Prometheus endpoint reports them: per-tier execution counters,
+// per-stage histograms, queue-wait observations, HTTP counters.
+func TestMetricsExposition(t *testing.T) {
+	s := New(Options{Workers: 2, ResultCacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const perTier = 3
+	for _, backend := range []string{"interp", "vm", "compile"} {
+		for i := 0; i < perTier; i++ {
+			var rr RunResponse
+			status, err := postJSON(client, ts.URL+"/v1/run",
+				RunRequest{Src: helloSrc, NP: 1, Backend: backend}, &rr)
+			if err != nil || status != http.StatusOK || rr.Outcome != OutcomeOK {
+				t.Fatalf("%s job %d: status %d outcome %q err %v", backend, i, status, rr.Outcome, err)
+			}
+		}
+	}
+
+	text := scrapeMetrics(t, client, ts.URL)
+	for _, tier := range []string{"interp", "vm", "compile"} {
+		if got := metricValue(t, text, "lolserv_executions_total", map[string]string{"tier": tier}); got != perTier {
+			t.Errorf("executions_total{tier=%q} = %v, want %d", tier, got, perTier)
+		}
+		if got := metricValue(t, text, "lolserv_stage_seconds_count",
+			map[string]string{"stage": "execute", "tier": tier}); got != perTier {
+			t.Errorf("stage execute count for %s = %v, want %d", tier, got, perTier)
+		}
+	}
+	total := float64(3 * perTier)
+	if got := metricValue(t, text, "lolserv_queue_wait_seconds_count", nil); got != total {
+		t.Errorf("queue_wait count = %v, want %v", got, total)
+	}
+	if got := metricValue(t, text, "lolserv_jobs_run_total", nil); got != total {
+		t.Errorf("jobs_run_total = %v, want %v", got, total)
+	}
+	if got := metricValue(t, text, "lolserv_job_outcomes_total", map[string]string{"outcome": "ok"}); got != total {
+		t.Errorf("outcomes{ok} = %v, want %v", got, total)
+	}
+	if got := metricValue(t, text, "lolserv_http_requests_total",
+		map[string]string{"endpoint": "/v1/run", "code": "200"}); got != total {
+		t.Errorf("http_requests_total{/v1/run,200} = %v, want %v", got, total)
+	}
+	// Histogram invariant: buckets are cumulative and the +Inf bucket
+	// equals the count (obs's own tests cover this; here we make sure it
+	// held through real traffic and exposition).
+	if got := metricValue(t, text, "lolserv_request_seconds_bucket",
+		map[string]string{"endpoint": "/v1/run", "le": "+Inf"}); got != total {
+		t.Errorf("request_seconds +Inf bucket = %v, want %v", got, total)
+	}
+	// The program cache saw one miss per backend-set and hits afterwards.
+	if got := metricValue(t, text, "lolserv_program_cache_size", nil); got != 1 {
+		t.Errorf("program_cache_size = %v, want 1", got)
+	}
+}
+
+// TestDebugSlowShape: /v1/debug/slow returns full per-stage breakdowns,
+// slowest first, honouring ?n=.
+func TestDebugSlowShape(t *testing.T) {
+	s := New(Options{Workers: 2, ResultCacheSize: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const runs = 5
+	for i := 0; i < runs; i++ {
+		var rr RunResponse
+		if _, err := postJSON(client, ts.URL+"/v1/run", RunRequest{Src: helloSrc, NP: 1}, &rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := client.Get(ts.URL + "/v1/debug/slow?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Requests []struct {
+			ID       string  `json:"id"`
+			Endpoint string  `json:"endpoint"`
+			Tier     string  `json:"tier"`
+			Outcome  string  `json:"outcome"`
+			TotalMS  float64 `json:"total_ms"`
+			Stages   []struct {
+				Name string  `json:"stage"`
+				MS   float64 `json:"ms"`
+			} `json:"stages"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Requests) != 3 {
+		t.Fatalf("?n=3 returned %d requests", len(out.Requests))
+	}
+	for i, r := range out.Requests {
+		if i > 0 && r.TotalMS > out.Requests[i-1].TotalMS {
+			t.Errorf("slow list not sorted: [%d]=%v > [%d]=%v", i, r.TotalMS, i-1, out.Requests[i-1].TotalMS)
+		}
+		if r.ID == "" || r.Endpoint != "/v1/run" {
+			t.Errorf("request %d: id=%q endpoint=%q", i, r.ID, r.Endpoint)
+		}
+		got := map[string]bool{}
+		var sum float64
+		for _, st := range r.Stages {
+			got[st.Name] = true
+			sum += st.MS
+		}
+		for _, want := range []string{"admission", "queue_wait", "program_cache", "execute", "respond"} {
+			if !got[want] {
+				t.Errorf("request %d (%s): missing stage %q (have %v)", i, r.ID, want, r.Stages)
+			}
+		}
+		// Stage accounting must close: the stages are disjoint intervals
+		// of the request, so their sum cannot exceed the wall total.
+		if sum > r.TotalMS*1.001 {
+			t.Errorf("request %d: stage sum %.3fms exceeds total %.3fms", i, sum, r.TotalMS)
+		}
+	}
+}
+
+// TestObsUnderStress is the satellite's race-mode accounting check:
+// concurrent /v1/run and /v1/batch traffic, then every observation must
+// be accounted for — no lost counter increments, histogram counts that
+// match the served request totals, and stage sums bounded by wall time
+// on every recorded span.
+func TestObsUnderStress(t *testing.T) {
+	const (
+		clients  = 8
+		rounds   = 5
+		batchLen = 4
+	)
+	s := New(Options{Workers: 4, QueueDepth: 1024, MaxNP: 8, ResultCacheSize: -1, SlowWindow: 4096})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var rr RunResponse
+				status, err := postJSON(client, ts.URL+"/v1/run",
+					RunRequest{Src: helloSrc, NP: 1 + (c+r)%3, Backend: "interp"}, &rr)
+				if err != nil || status != http.StatusOK {
+					errCh <- fmt.Errorf("run: status %d err %v", status, err)
+					return
+				}
+				jobs := make([]RunRequest, batchLen)
+				for i := range jobs {
+					jobs[i] = RunRequest{Src: helloSrc, NP: 1 + i%3, Backend: "vm"}
+				}
+				body, _ := json.Marshal(BatchRequest{Jobs: jobs})
+				resp, err := client.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got := 0
+				dec := json.NewDecoder(resp.Body)
+				for dec.More() {
+					var item BatchItem
+					if err := dec.Decode(&item); err != nil {
+						errCh <- err
+						resp.Body.Close()
+						return
+					}
+					got++
+				}
+				resp.Body.Close()
+				if got != batchLen {
+					errCh <- fmt.Errorf("batch returned %d/%d items", got, batchLen)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	const (
+		runJobs   = clients * rounds
+		batchJobs = clients * rounds * batchLen
+		totalJobs = runJobs + batchJobs
+	)
+	text := scrapeMetrics(t, client, ts.URL)
+
+	// No lost observations: every executed job shows up once in the tier
+	// counters, the execute-stage histogram, and the queue-wait histogram.
+	interp := metricValue(t, text, "lolserv_executions_total", map[string]string{"tier": "interp"})
+	vm := metricValue(t, text, "lolserv_executions_total", map[string]string{"tier": "vm"})
+	if int(interp) != runJobs || int(vm) != batchJobs {
+		t.Errorf("executions interp=%v vm=%v, want %d and %d", interp, vm, runJobs, batchJobs)
+	}
+	execObs := metricValue(t, text, "lolserv_stage_seconds_count", map[string]string{"stage": "execute", "tier": "interp"}) +
+		metricValue(t, text, "lolserv_stage_seconds_count", map[string]string{"stage": "execute", "tier": "vm"})
+	if int(execObs) != totalJobs {
+		t.Errorf("execute-stage observations = %v, want %d", execObs, totalJobs)
+	}
+	if got := metricValue(t, text, "lolserv_queue_wait_seconds_count", nil); int(got) != totalJobs {
+		t.Errorf("queue_wait observations = %v, want %d", got, totalJobs)
+	}
+	if got := metricValue(t, text, "lolserv_jobs_run_total", nil); int(got) != totalJobs {
+		t.Errorf("jobs_run_total = %v, want %d", got, totalJobs)
+	}
+	if got := metricValue(t, text, "lolserv_http_requests_total",
+		map[string]string{"endpoint": "/v1/run", "code": "200"}); int(got) != runJobs {
+		t.Errorf("http /v1/run = %v, want %d", got, runJobs)
+	}
+	if got := metricValue(t, text, "lolserv_http_requests_total",
+		map[string]string{"endpoint": "/v1/batch", "code": "200"}); int(got) != clients*rounds {
+		t.Errorf("http /v1/batch = %v, want %d", got, clients*rounds)
+	}
+
+	// Stage accounting closes on every span the slow ring kept (the
+	// window is sized to keep them all): disjoint stages can never sum
+	// past the span's wall time.
+	for _, snap := range s.metrics.slow.Slowest(0) {
+		var sum float64
+		for _, st := range snap.Stages {
+			sum += st.MS
+		}
+		if sum > snap.TotalMS*1.001 {
+			t.Errorf("span %s (%s): stage sum %.3fms > total %.3fms", snap.ID, snap.Endpoint, sum, snap.TotalMS)
+		}
+	}
+
+	// Gauges return to rest after the storm.
+	if got := metricValue(t, text, "lolserv_in_flight", nil); got != 0 {
+		t.Errorf("in_flight = %v after drain", got)
+	}
+	if got := metricValue(t, text, "lolserv_queue_depth", nil); got != 0 {
+		t.Errorf("queue_depth = %v after drain", got)
+	}
+}
+
+// TestBatchChildSpans: each batch job records its own span (child IDs
+// derived from the envelope's), so per-job tier attribution exists even
+// though the envelope is one HTTP request.
+func TestBatchChildSpans(t *testing.T) {
+	s := New(Options{Workers: 2, ResultCacheSize: -1, SlowWindow: 64})
+	jobs := []RunRequest{
+		{Src: helloSrc, NP: 1, Backend: "interp"},
+		{Src: helloSrc, NP: 2, Backend: "vm"},
+	}
+	ctx := obs.WithSpan(context.Background(), obs.NewSpan("envelope-1", "/v1/batch"))
+	drainBatch(t, s.RunBatch(ctx, jobs), len(jobs))
+
+	snaps := s.metrics.slow.Slowest(0)
+	byID := map[string]obs.SpanSnapshot{}
+	for _, sn := range snaps {
+		byID[sn.ID] = sn
+	}
+	for _, id := range []string{"envelope-1.0", "envelope-1.1"} {
+		sn, ok := byID[id]
+		if !ok {
+			t.Fatalf("no child span %q recorded (have %d spans)", id, len(snaps))
+		}
+		if sn.StageMS("execute") <= 0 {
+			t.Errorf("child span %s: no execute stage", id)
+		}
+	}
+}
+
+func drainBatch(t *testing.T, items <-chan BatchItem, want int) {
+	t.Helper()
+	got := 0
+	for item := range items {
+		if item.Outcome != OutcomeOK {
+			t.Fatalf("batch item %d: outcome %q: %s", item.Index, item.Outcome, item.Error)
+		}
+		got++
+	}
+	if got != want {
+		t.Fatalf("batch returned %d/%d items", got, want)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrBusy reports that the server is at capacity: every worker slot is in
@@ -20,7 +22,9 @@ type pool struct {
 	mu      sync.Mutex
 	free    int // slots neither in use nor promised to a waiter
 	maxWait int
-	waiting int
+	// waiting is a gauge so the server exposes queue depth without
+	// taking the pool lock on every scrape; it is only written under mu.
+	waiting obs.Gauge
 	queues  map[Key][]*waiter
 	ring    []Key // keys with waiters, in round-robin order
 	next    int   // ring cursor
@@ -51,7 +55,7 @@ func (p *pool) acquire(ctx context.Context, key Key) error {
 		p.mu.Unlock()
 		return nil
 	}
-	if p.waiting >= p.maxWait {
+	if int(p.waiting.Load()) >= p.maxWait {
 		p.mu.Unlock()
 		return ErrBusy
 	}
@@ -60,7 +64,7 @@ func (p *pool) acquire(ctx context.Context, key Key) error {
 		p.ring = append(p.ring, key)
 	}
 	p.queues[key] = append(p.queues[key], w)
-	p.waiting++
+	p.waiting.Add(1)
 	p.mu.Unlock()
 
 	select {
@@ -107,7 +111,7 @@ func (p *pool) releaseLocked() {
 		p.queues[key] = q[1:]
 		p.next++
 	}
-	p.waiting--
+	p.waiting.Add(-1)
 	w.granted = true
 	close(w.ready)
 }
@@ -135,12 +139,8 @@ func (p *pool) removeWaiter(key Key, w *waiter) {
 	} else {
 		p.queues[key] = q
 	}
-	p.waiting--
+	p.waiting.Add(-1)
 }
 
 // depth reports current waiters (for stats).
-func (p *pool) depth() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.waiting
-}
+func (p *pool) depth() int { return int(p.waiting.Load()) }

@@ -6,8 +6,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ResultKey identifies one deterministic execution: the SHA-256 over the
@@ -84,11 +85,11 @@ type resultCache struct {
 	ll    *list.List // front = most recently used; values are *rcEntry
 	items map[ResultKey]*rcEntry
 
-	hits      atomic.Int64 // answered from a stored result
-	misses    atomic.Int64 // cacheable job that had to execute
-	coalesced atomic.Int64 // answered by waiting on an in-flight leader
-	bypassed  atomic.Int64 // audited non-cacheable; executed normally
-	evicted   atomic.Int64
+	hits      obs.Counter // answered from a stored result
+	misses    obs.Counter // cacheable job that had to execute
+	coalesced obs.Counter // answered by waiting on an in-flight leader
+	bypassed  obs.Counter // audited non-cacheable; executed normally
+	evicted   obs.Counter
 }
 
 func newResultCache(max int) *resultCache {

@@ -33,6 +33,16 @@
 // detected up front and stay in-process, and any native infrastructure
 // failure demotes the program and re-runs the job in-process.
 //
+// The whole request path is observable through internal/obs: every
+// request gets an X-Request-Id, a lifecycle span timed stage by stage
+// (admission, result cache, queue wait, program cache, compile,
+// execute, respond), and one structured slog line; counters and
+// latency histograms are exposed in Prometheus text format at GET
+// /metrics, the slowest recent requests with stage breakdowns at GET
+// /v1/debug/slow, and Server.DebugHandler serves net/http/pprof for a
+// separate operator-only listener. See README.md's Observability
+// section.
+//
 // The paper's toolchain stops at a batch launcher (coprsh/aprun); this
 // package is the repository's answer to the ROADMAP's production-service
 // north star: the same three engines, behind an API that serves a
@@ -44,13 +54,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/shmem"
 )
 
@@ -105,6 +116,13 @@ type Options struct {
 	NativeThreshold int64
 	// NativeBuilds bounds concurrent background `go build`s (default 1).
 	NativeBuilds int
+
+	// Logger receives one structured line per HTTP request (request ID,
+	// route, status, outcome, per-stage timings). nil discards logs.
+	Logger *slog.Logger
+	// SlowWindow sizes the ring of recent request spans behind
+	// GET /v1/debug/slow (default 64).
+	SlowWindow int
 }
 
 func (o *Options) withDefaults() Options {
@@ -148,6 +166,12 @@ func (o *Options) withDefaults() Options {
 	if out.MaxStepBudget <= 0 {
 		out.MaxStepBudget = 500_000_000
 	}
+	if out.Logger == nil {
+		out.Logger = slog.New(slog.DiscardHandler)
+	}
+	if out.SlowWindow <= 0 {
+		out.SlowWindow = 64
+	}
 	return out
 }
 
@@ -158,28 +182,27 @@ type Server struct {
 	results *resultCache // nil when result caching is disabled
 	pool    *pool
 	native  *nativeTier // nil when the native tier is disabled
+	metrics *serverMetrics
+	logger  *slog.Logger
+	start   time.Time
 
-	jobsRun      atomic.Int64
-	jobsOK       atomic.Int64
-	jobsFailed   atomic.Int64
-	jobsRejected atomic.Int64
-	batchesRun   atomic.Int64
-	inFlight     atomic.Int64
-
-	// Per-tier execution counters: which engine actually ran each job.
-	tierInterp  atomic.Int64
-	tierVM      atomic.Int64
-	tierCompile atomic.Int64
-	tierNative  atomic.Int64
+	jobsRun      obs.Counter
+	jobsOK       obs.Counter
+	jobsFailed   obs.Counter
+	jobsRejected obs.Counter
+	batchesRun   obs.Counter
+	inFlight     obs.Gauge
 }
 
 // New builds a Server.
 func New(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		opts:  o,
-		cache: NewCache(o.CacheSize),
-		pool:  newPool(o.Workers, o.QueueDepth),
+		opts:   o,
+		cache:  NewCache(o.CacheSize),
+		pool:   newPool(o.Workers, o.QueueDepth),
+		logger: o.Logger,
+		start:  time.Now(),
 	}
 	if o.ResultCacheSize > 0 {
 		s.results = newResultCache(o.ResultCacheSize)
@@ -187,6 +210,7 @@ func New(opts Options) *Server {
 	if o.NativeCache != nil && o.NativeThreshold > 0 {
 		s.native = newNativeTier(o.NativeCache, o.NativeThreshold, o.NativeBuilds)
 	}
+	s.metrics = newServerMetrics(s, o.SlowWindow)
 	return s
 }
 
@@ -279,7 +303,21 @@ type RunResponse struct {
 // worker slot (fairly), run under deadline+budget, classify. ctx is the
 // client's context — cancel it and the job dies promptly, its PEs
 // released from any barrier or lock they block in.
+//
+// When ctx carries an obs.Span (the HTTP handlers and RunBatch attach
+// one), the job's lifecycle stages are recorded onto it and the span's
+// job labels are set from the response; callers without a span pay one
+// nil check per stage.
 func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
+	resp := s.run(ctx, req)
+	if resp.Outcome != "" {
+		s.metrics.outcomes.With(string(resp.Outcome)).Add(1)
+	}
+	obs.FromContext(ctx).SetJob(resp.Backend, resp.Tier, string(resp.Outcome))
+	return resp
+}
+
+func (s *Server) run(ctx context.Context, req RunRequest) RunResponse {
 	if resp, ok := s.validate(&req); !ok {
 		s.jobsRejected.Add(1)
 		return resp
@@ -315,6 +353,7 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 		req.Seed, steps, timeout, req.Stdin, tierSalt)
 	qStart := time.Now()
 	cached, claim, err := s.results.acquire(ctx, rkey)
+	obs.FromContext(ctx).Record(stageResultCache, time.Since(qStart))
 	switch {
 	case err != nil: // client went away while coalesced onto a leader
 		return RunResponse{
@@ -362,6 +401,7 @@ func (s *Server) Run(ctx context.Context, req RunRequest) RunResponse {
 func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBackend core.Backend,
 	timeout time.Duration, steps int64, nativeBin string) (RunResponse, bool) {
 	resp := RunResponse{Backend: coreBackend.String(), NP: req.NP}
+	sp := obs.FromContext(ctx)
 
 	// Admission first: parse+sema runs inside the worker slot too, so a
 	// flood of distinct programs cannot compile without bound — the
@@ -371,7 +411,9 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 	qStart := time.Now()
 	if err := s.pool.acquire(ctx, key); err != nil {
 		s.jobsRejected.Add(1)
-		resp.QueueMS = msSince(qStart)
+		qWait := time.Since(qStart)
+		sp.Record(stageQueueWait, qWait)
+		resp.QueueMS = ms(qWait)
 		if errors.Is(err, ErrBusy) {
 			resp.Outcome = OutcomeRejected
 		} else {
@@ -381,10 +423,14 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 		return resp, false
 	}
 	defer s.pool.release()
-	resp.QueueMS = msSince(qStart)
+	qWait := time.Since(qStart)
+	sp.Record(stageQueueWait, qWait)
+	resp.QueueMS = ms(qWait)
 
 	// Frontend, amortized: one parse+sema per unique source ever in cache.
+	pcStart := time.Now()
 	prog, err, hit, hits := s.cache.GetOrCompile(key, "job.lol", req.Src)
+	sp.Record(stageProgramCache, time.Since(pcStart))
 	resp.CacheHit = hit
 	if err != nil {
 		s.jobsRejected.Add(1)
@@ -403,6 +449,15 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 		}
 		// Tier failure: the program was demoted; run in-process below.
 	}
+
+	// The engine's prepared form (bytecode, closures) is built once per
+	// program per engine; timing it here splits the compile stage out of
+	// execute, so after the first run of a program the stage reads ~0. A
+	// preparation error is left for Run below to surface — the cached
+	// error makes the outcome identical.
+	cStart := time.Now()
+	_ = prog.Prepare(coreBackend)
+	sp.Record(stageCompile, time.Since(cStart))
 
 	jobCtx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
@@ -428,22 +483,27 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 	s.inFlight.Add(1)
 	switch coreBackend {
 	case core.BackendInterp:
-		s.tierInterp.Add(1)
+		s.metrics.execInterp.Inc()
 	case core.BackendVM:
-		s.tierVM.Add(1)
+		s.metrics.execVM.Inc()
 	default:
-		s.tierCompile.Add(1)
+		s.metrics.execCompile.Inc()
 	}
 	resp.Tier = coreBackend.String()
 	start := time.Now()
 	res, runErr := prog.Run(core.RunConfig{Config: cfg, Backend: coreBackend})
 	s.inFlight.Add(-1)
-	resp.WallMS = msSince(start)
+	wall := time.Since(start)
+	sp.Record(stageExecute, wall)
+	resp.WallMS = ms(wall)
 	resp.Output = out.String()
 	resp.Errout = errw.String()
 	if res != nil {
 		// Set even for failed runs: the partial output may be clipped.
 		resp.OutputTruncated = res.OutputTruncated
+		if res.ExecWall > 0 {
+			s.metrics.spmdSeconds.With(resp.Tier).Observe(res.ExecWall.Seconds())
+		}
 	}
 
 	if runErr != nil {
@@ -544,10 +604,10 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Cache: s.cache.Stats(),
 		Tiers: TierStats{
-			Interp:  s.tierInterp.Load(),
-			VM:      s.tierVM.Load(),
-			Compile: s.tierCompile.Load(),
-			Native:  s.tierNative.Load(),
+			Interp:  s.metrics.execInterp.Load(),
+			VM:      s.metrics.execVM.Load(),
+			Compile: s.metrics.execCompile.Load(),
+			Native:  s.metrics.execNative.Load(),
 		},
 		JobsRun:      s.jobsRun.Load(),
 		JobsOK:       s.jobsOK.Load(),
@@ -587,4 +647,6 @@ func clampInt64(v, def, max int64) int64 {
 	return v
 }
 
-func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
+func msSince(t time.Time) float64 { return ms(time.Since(t)) }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
