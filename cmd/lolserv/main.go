@@ -6,8 +6,11 @@
 // and runs whatever must actually execute on a bounded worker pool under
 // enforced wall-clock and step budgets. With -native-threshold set, hot
 // programs are additionally promoted in the background to standalone
-// gogen-compiled binaries and served as subprocesses — the fourth tier
-// of the execution ladder (see internal/server/README.md).
+// gogen-compiled binaries and served as self-jailing subprocesses
+// (rlimits + Landlock; see the Isolation contract in
+// internal/server/README.md) — the fourth tier of the execution ladder,
+// bounded on disk by -native-cache-max-bytes and guarded by a tier-wide
+// circuit breaker that keeps jobs in-process while the tier is failing.
 //
 //	lolserv -addr :8404 -workers 8 -cache 256
 //	lolserv -native-threshold 3 -native-cache-dir /var/cache/lolserv
@@ -39,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/native"
 	"repro/internal/server"
 )
@@ -63,6 +67,12 @@ func run() int {
 	nativeCacheDir := flag.String("native-cache-dir", "",
 		"directory for promoted binaries (default: lolserv-native under the OS temp dir)")
 	nativeBuilds := flag.Int("native-builds", 1, "concurrent background go builds for promotions")
+	nativeCacheMax := flag.Int64("native-cache-max-bytes", 0,
+		"byte quota for the promoted-binary cache; least-recently-used binaries are evicted (0 = unlimited)")
+	nativeMem := flag.Int64("native-mem-limit", 0,
+		"RLIMIT_AS for each native child in bytes (0 = 4 GiB default, -1 = unlimited)")
+	nativeSandbox := flag.Bool("native-sandbox", true,
+		"self-jail native children (rlimits + Landlock where available); false is for benchmarking only")
 	logLevel := flag.String("log-level", "info", "request log level: debug, info, warn, or error")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	debugAddr := flag.String("debug-addr", "",
@@ -90,9 +100,20 @@ func run() int {
 		if nativeCache, err = native.NewCache(*nativeCacheDir, ""); err != nil {
 			log.Printf("lolserv: native tier disabled: %v", err)
 		} else {
-			log.Printf("lolserv: native tier enabled (threshold=%d builds=%d cache=%s)",
-				*nativeThreshold, *nativeBuilds, nativeCache.Dir())
+			if *nativeCacheMax > 0 {
+				nativeCache.SetMaxBytes(*nativeCacheMax)
+			}
+			log.Printf("lolserv: native tier enabled (threshold=%d builds=%d cache=%s quota=%d sandbox=%v)",
+				*nativeThreshold, *nativeBuilds, nativeCache.Dir(), *nativeCacheMax, *nativeSandbox)
 		}
+	}
+	// Failpoints are off unless the environment says otherwise; when it
+	// does, shout — a live failpoint in production is an incident.
+	if armed, err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "lolserv: %s: %v\n", faultinject.EnvVar, err)
+		return 2
+	} else if len(armed) > 0 {
+		log.Printf("lolserv: WARNING: failpoints armed via %s: %v — this server WILL inject faults", faultinject.EnvVar, armed)
 	}
 	logger, err := buildLogger(*logLevel, *logFormat)
 	if err != nil {
@@ -112,6 +133,8 @@ func run() int {
 		NativeCache:     nativeCache,
 		NativeThreshold: *nativeThreshold,
 		NativeBuilds:    *nativeBuilds,
+		NativeMemBytes:  *nativeMem,
+		NativeNoSandbox: !*nativeSandbox,
 		Logger:          logger,
 	})
 	defer srv.Close()
@@ -174,8 +197,9 @@ func run() int {
 			rc.Hits+rc.Coalesced, rc.Hits+rc.Coalesced+rc.Misses, rc.Hits, rc.Coalesced, rc.Misses, rc.Bypassed)
 	}
 	if nt := st.Native; nt.Enabled {
-		log.Printf("lolserv: native tier ran %d jobs (%d promotions, %d unsupported, %d build failures, %d demotions, %d fallbacks)",
-			nt.Runs, nt.Promotions, nt.Unsupported, nt.BuildFailures, nt.Demotions, nt.Fallbacks)
+		log.Printf("lolserv: native tier ran %d jobs (%d promotions, %d unsupported, %d build failures, %d demotions, %d fallbacks, %d evictions, breaker %s/%d trips, sandbox %s)",
+			nt.Runs, nt.Promotions, nt.Unsupported, nt.BuildFailures, nt.Demotions, nt.Fallbacks,
+			nt.Evictions, nt.Breaker, nt.BreakerTrips, nt.Sandbox)
 	}
 	return 0
 }

@@ -29,10 +29,16 @@
 //     mains speak the internal/native/child protocol so they can serve
 //     as lolserv's fourth execution tier;
 //   - internal/native: the native tier's mechanics — an on-disk binary
-//     cache keyed by source sha256 + gogen version, and a subprocess
-//     runner that maps a job's budgets onto the child (context kill for
-//     deadlines, pipe caps for output) so untrusted promoted code is
-//     isolated by the OS, not by cooperative metering;
+//     cache keyed by source sha256 + gogen version (with an optional byte
+//     quota that evicts least-recently-used binaries), and a subprocess
+//     runner that maps a job's budgets onto the child (RLIMIT_CPU for the
+//     step budget, context kill for deadlines, pipe caps for output);
+//     children self-jail via internal/native/sandbox — rlimits plus a
+//     Landlock deny-all filesystem policy where the kernel offers it — so
+//     untrusted promoted code is contained by the OS, not by cooperative
+//     metering, and internal/faultinject gives the chaos tests (and
+//     operators running drills) failpoints inside the build, run, and
+//     result-cache paths;
 //   - internal/server: the concurrent job-execution service — an LRU
 //     compiled-program cache (parse+sema+codegen once per unique program),
 //     a deterministic result cache with singleflight coalescing (identical

@@ -1,0 +1,166 @@
+// Package faultinject is the repository's failpoint seam: named places
+// in production code where a test (or an operator running a chaos
+// drill) can force a failure that is otherwise hard to reach — a child
+// process killed mid-run, a binary corrupted on publish, a result-cache
+// claim dropped between execution and fulfilment.
+//
+// The design constraints, in order:
+//
+//   - Zero overhead when disarmed. Fire is one atomic bool load on the
+//     fast path; no map lookup, no lock, no allocation. Production
+//     binaries carry the seam at the cost of a predictable branch.
+//   - No build tags. The chaos tests run against the same code the
+//     server ships; a failpoint that exists only in a -tags=chaos build
+//     would exercise a different binary than production runs.
+//   - Armed explicitly: programmatically via Arm (tests), or from the
+//     LOLSERV_FAILPOINTS environment variable via ArmFromEnv
+//     (cmd/lolserv calls it at startup and logs loudly when anything is
+//     armed, so a failpoint can never be live in production silently).
+//
+// A failpoint spec is a comma-separated list of "name[=count]" terms:
+// "native.run.kill=2" fires the named point twice and then goes dead;
+// a bare "name" (or count -1) fires forever. What "firing" means is the
+// call site's business — faultinject only answers "should this point
+// fail now?"; the call site constructs the failure that is natural
+// there (kill the process, truncate the file, drop the claim).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads.
+const EnvVar = "LOLSERV_FAILPOINTS"
+
+// ErrInjected is the error call sites conventionally wrap when a fired
+// failpoint's natural failure is "return an error". Tests can assert
+// errors.Is(err, ErrInjected) to distinguish an injected failure from a
+// real one that happened to occur during the drill.
+var ErrInjected = errors.New("injected fault")
+
+var (
+	armed  atomic.Bool // true iff any failpoint may still fire
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+type point struct {
+	remaining int64 // -1 = unlimited
+	fired     int64
+}
+
+// Fire reports whether the named failpoint triggers now, consuming one
+// fire from its budget. Disarmed (the steady state) it is a single
+// atomic load and returns false.
+func Fire(name string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok || p.remaining == 0 {
+		return false
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.fired++
+	return true
+}
+
+// Arm parses a failpoint spec ("a=2,b,c=-1") and arms every named
+// point, adding to any already-armed set. An empty spec is a no-op.
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	type parsed struct {
+		name  string
+		count int64
+	}
+	var ps []parsed
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, countStr, has := strings.Cut(term, "=")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("faultinject: empty failpoint name in %q", spec)
+		}
+		count := int64(-1)
+		if has {
+			n, err := strconv.ParseInt(strings.TrimSpace(countStr), 10, 64)
+			if err != nil || n < -1 {
+				return fmt.Errorf("faultinject: bad count in %q (want an integer >= -1)", term)
+			}
+			count = n
+		}
+		ps = append(ps, parsed{name, count})
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range ps {
+		points[p.name] = &point{remaining: p.count}
+	}
+	if len(points) > 0 {
+		armed.Store(true)
+	}
+	return nil
+}
+
+// ArmFromEnv arms failpoints from the LOLSERV_FAILPOINTS environment
+// variable and returns the names it armed (for the caller to log).
+func ArmFromEnv() ([]string, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil, nil
+	}
+	if err := Arm(spec); err != nil {
+		return nil, err
+	}
+	return Active(), nil
+}
+
+// Active returns the names of failpoints that may still fire, sorted.
+func Active() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	var names []string
+	for name, p := range points {
+		if p.remaining != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fired reports how many times the named failpoint has triggered.
+func Fired(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Reset disarms every failpoint and forgets their history. Tests that
+// arm failpoints must defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(false)
+}

@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Reset()
+	if Fire("anything") {
+		t.Fatal("disarmed failpoint fired")
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("Active() = %v, want empty", got)
+	}
+}
+
+func TestArmCountedAndUnlimited(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("kill=2, forever, never=0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !Fire("kill") {
+			t.Fatalf("kill fire %d: did not trigger", i)
+		}
+	}
+	if Fire("kill") {
+		t.Fatal("kill fired beyond its count")
+	}
+	if Fired("kill") != 2 {
+		t.Fatalf("Fired(kill) = %d, want 2", Fired("kill"))
+	}
+	for i := 0; i < 10; i++ {
+		if !Fire("forever") {
+			t.Fatalf("unlimited point stopped firing at %d", i)
+		}
+	}
+	if Fire("never") {
+		t.Fatal("count-0 point fired")
+	}
+	if Fire("unarmed") {
+		t.Fatal("unknown point fired while others armed")
+	}
+	// Exhausted points drop out of Active; unlimited ones stay.
+	if got := Active(); len(got) != 1 || got[0] != "forever" {
+		t.Fatalf("Active() = %v, want [forever]", got)
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"=3", "a=x", "a=-2"} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) succeeded, want error", spec)
+		}
+	}
+	if err := Arm(""); err != nil {
+		t.Errorf("empty spec: %v", err)
+	}
+}
+
+func TestConcurrentFireExactCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("race=100"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var hits sync.Map
+	total := make(chan int, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 50; i++ {
+				if Fire("race") {
+					n++
+				}
+			}
+			hits.Store(g, n)
+			total <- n
+		}(g)
+	}
+	wg.Wait()
+	close(total)
+	sum := 0
+	for n := range total {
+		sum += n
+	}
+	if sum != 100 {
+		t.Fatalf("100-count point fired %d times across goroutines", sum)
+	}
+}

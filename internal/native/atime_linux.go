@@ -1,0 +1,19 @@
+//go:build linux
+
+package native
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime is the file's access time — the cache's "last used" signal.
+// Touch writes it explicitly with Chtimes, so the value is meaningful
+// even on relatime/noatime mounts.
+func atime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

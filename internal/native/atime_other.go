@@ -1,0 +1,13 @@
+//go:build !linux
+
+package native
+
+import (
+	"os"
+	"time"
+)
+
+// atime falls back to the modification time where the platform's Stat
+// shape is not wired up: eviction degrades from least-recently-used to
+// oldest-published, which is still a sane quota policy.
+func atime(fi os.FileInfo) time.Time { return fi.ModTime() }

@@ -18,8 +18,12 @@
 //     enforced both in-child and on the parent's pipe, and the deadline
 //     is a context kill — the child gets no -timeout of its own, so
 //     deadline classification belongs to exactly one process. Step
-//     budgets cannot be metered inside generated code, so the caller
-//     approximates them as a wall deadline (see server's promotion docs).
+//     budgets cannot be metered inside generated code; where the sandbox
+//     is available (Linux) the caller converts them to an RLIMIT_CPU
+//     second count the child self-imposes, and a CPU-limit death comes
+//     back as backend.ErrStepBudget — the kernel analog of the
+//     in-process step meter. Elsewhere the caller falls back to the old
+//     wall-deadline approximation.
 //
 // Promotion policy — when to build, how to route, what to fall back to —
 // lives in internal/server; this package only knows how to build and run.
@@ -35,9 +39,15 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/backend"
+	"repro/internal/faultinject"
 	"repro/internal/gogen"
 	"repro/internal/native/child"
 	"repro/internal/sema"
@@ -69,11 +79,20 @@ type TierError struct{ Err error }
 func (e *TierError) Error() string { return fmt.Sprintf("native tier: %v", e.Err) }
 func (e *TierError) Unwrap() error { return e.Err }
 
-// Cache builds and stores promoted binaries on disk.
+// Cache builds and stores promoted binaries on disk. An optional byte
+// quota (SetMaxBytes) bounds the directory: when a newly published
+// binary pushes the total over, the least-recently-used binaries are
+// evicted. "Used" is the file's access time, which the server bumps
+// explicitly (Touch) on every native run, so the LRU order does not
+// depend on mount options like noatime.
 type Cache struct {
 	dir        string // binaries live here
 	moduleRoot string // the repro module checkout go build runs in
 	goTool     string
+
+	evictMu   sync.Mutex // serializes quota scans; also guards maxBytes
+	maxBytes  int64      // 0 = unlimited
+	evictions atomic.Int64
 }
 
 // NewCache opens (creating if needed) the binary cache at dir. moduleRoot
@@ -100,7 +119,29 @@ func NewCache(dir, moduleRoot string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("native: creating binary cache: %w", err)
 	}
-	return &Cache{dir: dir, moduleRoot: moduleRoot, goTool: goTool}, nil
+	c := &Cache{dir: dir, moduleRoot: moduleRoot, goTool: goTool}
+	c.sweepStaleTmp()
+	return c, nil
+}
+
+// sweepStaleTmp deletes build temporaries (*.bin.tmp) older than an
+// hour: half-written binaries orphaned by a crashed or killed
+// predecessor, which the atomic-rename publish protocol guarantees are
+// garbage. Young temporaries are left alone — they may belong to a live
+// build in another process sharing the cache directory.
+func (c *Cache) sweepStaleTmp() {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".bin.tmp") {
+			continue
+		}
+		if fi, err := de.Info(); err == nil && time.Since(fi.ModTime()) > time.Hour {
+			os.Remove(filepath.Join(c.dir, de.Name()))
+		}
+	}
 }
 
 // FindModuleRoot walks upward from the working directory to the nearest
@@ -159,6 +200,103 @@ func (c *Cache) DiskUsage() (bytes int64, entries int) {
 	return bytes, entries
 }
 
+// SetMaxBytes installs (or, with 0, removes) the cache's byte quota and
+// immediately enforces it. The quota counts every *.bin file in the
+// directory, stale gogen versions included — they occupy the same disk.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.evictMu.Lock()
+	c.maxBytes = n
+	c.evictMu.Unlock()
+	c.enforceQuota()
+}
+
+// MaxBytes reports the configured quota (0 = unlimited).
+func (c *Cache) MaxBytes() int64 {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	return c.maxBytes
+}
+
+// Evictions reports how many binaries the quota has evicted since the
+// cache opened.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Touch marks the binary for sha as just-used by bumping its access
+// time. The server calls it on every native run; eviction order reads
+// the same timestamp back, so LRU works even on noatime mounts.
+func (c *Cache) Touch(sha string) {
+	_ = os.Chtimes(c.PathFor(sha), time.Now(), time.Time{})
+}
+
+// Remove deletes the cached binary for sha under the current gogen
+// version. The server's demotion path calls it so a binary that broke
+// the protocol cannot be re-adopted after a restart. Removal is safe
+// against a concurrent execution (the inode outlives the unlink) and a
+// concurrent adoption (a Lookup after Remove simply misses and the
+// program re-enters the build path).
+func (c *Cache) Remove(sha string) {
+	_ = os.Remove(c.PathFor(sha))
+}
+
+// evictionGrace shields binaries used or published within the window
+// from eviction: a binary the server touched seconds ago is about to be
+// exec'd again, and evicting it would thrash the builder. If everything
+// under quota pressure is inside the grace window the cache runs over
+// quota briefly instead — the quota is a target, not an invariant.
+const evictionGrace = time.Minute
+
+// enforceQuota scans the cache and deletes least-recently-used binaries
+// until the total is back under the quota. Called after every publish
+// and on SetMaxBytes; a scan that races a publish or an adoption is
+// safe for the same reasons Remove is.
+func (c *Cache) enforceQuota() {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	if c.maxBytes <= 0 {
+		return
+	}
+	type ent struct {
+		path string
+		size int64
+		used time.Time
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	var total int64
+	var ents []ent
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".bin") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil || !fi.Mode().IsRegular() {
+			continue
+		}
+		total += fi.Size()
+		ents = append(ents, ent{filepath.Join(c.dir, de.Name()), fi.Size(), atime(fi)})
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].used.Before(ents[j].used) })
+	now := time.Now()
+	for _, e := range ents {
+		if total <= c.maxBytes {
+			break
+		}
+		if now.Sub(e.used) < evictionGrace {
+			// Sorted by age: everything from here on is hotter still.
+			break
+		}
+		if err := os.Remove(e.path); err == nil {
+			total -= e.size
+			c.evictions.Add(1)
+		}
+	}
+}
+
 // Lookup reports whether a binary for sha is already on disk — including
 // binaries built by a previous server process.
 func (c *Cache) Lookup(sha string) (string, bool) {
@@ -177,6 +315,9 @@ func (c *Cache) Lookup(sha string) (string, bool) {
 func (c *Cache) Build(ctx context.Context, sha string, info *sema.Info) (string, error) {
 	if path, ok := c.Lookup(sha); ok {
 		return path, nil
+	}
+	if faultinject.Fire("native.build.fail") {
+		return "", fmt.Errorf("native: go build: %w", faultinject.ErrInjected)
 	}
 	if err := gogen.Check(info); err != nil {
 		return "", fmt.Errorf("%w: %w", ErrUnsupported, err)
@@ -210,10 +351,18 @@ func (c *Cache) Build(ctx context.Context, sha string, info *sema.Info) (string,
 		os.Remove(tmp)
 		return "", fmt.Errorf("native: go build: %w\n%s", err, out)
 	}
+	if faultinject.Fire("native.build.corrupt") {
+		// Chaos seam: publish a well-formed-looking but non-executable
+		// binary, the on-disk shape of a torn write or bad disk.
+		if err := os.WriteFile(tmp, []byte("#!corrupt\n"), 0o755); err != nil {
+			return "", fmt.Errorf("native: corrupt failpoint: %w", err)
+		}
+	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return "", fmt.Errorf("native: publishing binary: %w", err)
 	}
+	c.enforceQuota()
 	return final, nil
 }
 
@@ -224,6 +373,17 @@ type RunSpec struct {
 	Seed      int64
 	Stdin     string
 	MaxOutput int // per-stream byte cap enforced in-child and on the pipe
+
+	// CPUBudgetSecs, when > 0, becomes the child's RLIMIT_CPU soft limit:
+	// the kernel-enforced analog of the job's step budget. A child that
+	// dies of it is reported as backend.ErrStepBudget, not a tier failure.
+	CPUBudgetSecs int64
+	// MemBytes, when > 0, becomes the child's RLIMIT_AS cap. A child that
+	// outgrows it dies a runtime-OOM death the parent reports as a
+	// TierError, so the job falls back in-process.
+	MemBytes int64
+	// NoSandbox skips the child's self-jailing prologue (benchmarks only).
+	NoSandbox bool
 }
 
 // pipeSlack bounds everything in the child's JSON result besides the two
@@ -231,10 +391,12 @@ type RunSpec struct {
 const pipeSlack = 64 << 10
 
 // RunBinary executes one job on a promoted binary under the -serve
-// protocol. The context is the job's full budget: when it ends the child
-// is killed and the context's cause is returned, so callers classify
-// deadline vs budget-approximation kills exactly like in-process runs.
-// Any other failure to complete the protocol returns a *TierError.
+// protocol. The context is the job's wall deadline: when it ends the
+// child is killed and the context's cause is returned, so callers
+// classify deadline kills exactly like in-process runs. A CPU-budget
+// death — the child's RLIMIT_CPU firing, in any of its three shapes —
+// returns an error wrapping backend.ErrStepBudget. Any other failure to
+// complete the protocol returns a *TierError.
 //
 // The parent enforces its own cap on the result pipe — 12x the
 // per-stream limit, the worst case of two fully escaped streams plus
@@ -250,6 +412,15 @@ func RunBinary(ctx context.Context, bin string, spec RunSpec) (*child.Result, er
 		"-seed", fmt.Sprint(spec.Seed),
 		"-max-output", fmt.Sprint(spec.MaxOutput),
 	}
+	if spec.CPUBudgetSecs > 0 {
+		args = append(args, "-cpu-budget", fmt.Sprint(spec.CPUBudgetSecs))
+	}
+	if spec.MemBytes > 0 {
+		args = append(args, "-mem-limit", fmt.Sprint(spec.MemBytes))
+	}
+	if spec.NoSandbox {
+		args = append(args, "-no-sandbox")
+	}
 	cmd := exec.CommandContext(ctx, bin, args...)
 	cmd.Stdin = strings.NewReader(spec.Stdin)
 	var stdout, stderr bytes.Buffer
@@ -263,13 +434,24 @@ func RunBinary(ctx context.Context, bin string, spec RunSpec) (*child.Result, er
 	cmd.Stderr = &limitedWriter{w: &stderr, n: 16 << 10} // diagnostics only
 	cmd.WaitDelay = 5 * time.Second
 
-	runErr := cmd.Run()
+	if err := cmd.Start(); err != nil {
+		return nil, &TierError{Err: fmt.Errorf("%s: %w", filepath.Base(bin), err)}
+	}
+	if faultinject.Fire("native.run.kill") {
+		// Chaos seam: the child dies mid-run for no kernel-attributable
+		// reason — an OOM-killer pick, an operator kill -9, a crash.
+		_ = cmd.Process.Kill()
+	}
+	runErr := cmd.Wait()
 	if ctx.Err() != nil {
 		// Killed (or about to be): surface the cause — the job deadline,
 		// the budget approximation, or the client going away.
 		return nil, cause(ctx)
 	}
 	if runErr != nil {
+		if cpuBudgetDeath(cmd, spec, runErr) {
+			return nil, fmt.Errorf("%w: native child hit RLIMIT_CPU (%ds)", backend.ErrStepBudget, spec.CPUBudgetSecs)
+		}
 		return nil, &TierError{Err: fmt.Errorf("%s: %w: %s", filepath.Base(bin), runErr, firstLine(stderr.String()))}
 	}
 	var res child.Result
@@ -277,6 +459,39 @@ func RunBinary(ctx context.Context, bin string, spec RunSpec) (*child.Result, er
 		return nil, &TierError{Err: fmt.Errorf("%s: undecodable result: %w", filepath.Base(bin), err)}
 	}
 	return &res, nil
+}
+
+// cpuBudgetDeath recognizes the three shapes of an RLIMIT_CPU kill:
+//
+//  1. The cooperative exit — the child caught SIGXCPU and exited with
+//     child.ExitBudget. The common case.
+//  2. Death by SIGXCPU itself — a child built before the harness
+//     subscribed the signal (should not occur at matching gogen.Version,
+//     but the classification is free).
+//  3. The hard-limit SIGKILL backstop, distinguished from other SIGKILLs
+//     by evidence: the child actually consumed its CPU budget.
+func cpuBudgetDeath(cmd *exec.Cmd, spec RunSpec, runErr error) bool {
+	if spec.CPUBudgetSecs <= 0 {
+		return false
+	}
+	var ee *exec.ExitError
+	if !errors.As(runErr, &ee) || ee.ProcessState == nil {
+		return false
+	}
+	ps := ee.ProcessState
+	if ps.ExitCode() == child.ExitBudget {
+		return true
+	}
+	if ws, ok := ps.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+		switch ws.Signal() {
+		case syscall.SIGXCPU:
+			return true
+		case syscall.SIGKILL:
+			cpu := ps.UserTime() + ps.SystemTime()
+			return cpu >= time.Duration(spec.CPUBudgetSecs)*time.Second
+		}
+	}
+	return false
 }
 
 // cause prefers the context's recorded cause (e.g. the step-budget

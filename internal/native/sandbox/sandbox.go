@@ -1,0 +1,87 @@
+// Package sandbox is the self-jailing prologue for the native tier's
+// child processes: a gogen-emitted binary running in lolserv serve mode
+// calls Apply before touching untrusted program state, giving up
+// resources and filesystem authority it will never need. The jail is
+// built from two independent layers:
+//
+//   - POSIX rlimits (everywhere rlimits exist): RLIMIT_CPU turns the
+//     job's step budget into a kernel-enforced CPU-time budget — a true
+//     analog of the in-process step meter, unlike a wall-clock deadline
+//     which also counts time blocked in barriers — plus RLIMIT_AS
+//     (address space), RLIMIT_NOFILE (the child needs stdio and nothing
+//     else), and RLIMIT_CORE=0 (a crashing child must not write a core
+//     dump of server-adjacent memory to disk).
+//
+//   - Landlock (Linux 5.13+, best effort): an empty deny-all ruleset
+//     over every filesystem access right the running kernel's Landlock
+//     ABI knows, applied to all threads. Already-open descriptors
+//     (stdio, the result pipe) keep working; any attempt to open,
+//     create, or unlink anything else fails with EACCES. Kernels
+//     without Landlock fall back — explicitly, reported in the achieved
+//     Level — to the rlimit-only jail.
+//
+// The achieved Level travels back to the parent in the child's JSON
+// result and is surfaced through /v1/stats and /v1/healthz, so an
+// operator can see at a glance how much containment the fleet actually
+// has, not how much it was configured to want.
+//
+// Apply is deliberately one-way and unprivileged: it needs no
+// capabilities (Landlock + prctl(NO_NEW_PRIVS) are unprivileged APIs)
+// and cannot be undone from inside the process.
+package sandbox
+
+// Level names how much of the jail was actually erected.
+type Level string
+
+const (
+	// LevelNone: no containment beyond being a separate OS process
+	// (non-Linux builds, or Apply never ran).
+	LevelNone Level = "none"
+	// LevelRlimit: resource limits are in force; the filesystem is not
+	// restricted (pre-Landlock kernel or Landlock denied).
+	LevelRlimit Level = "rlimit"
+	// LevelLandlock: rlimits plus a deny-all Landlock filesystem domain.
+	LevelLandlock Level = "rlimit+landlock"
+)
+
+// Limits parameterizes the rlimit layer. Zero fields are not applied,
+// except Core which is always forced to zero by Apply.
+type Limits struct {
+	// CPUSecs is the RLIMIT_CPU soft limit in seconds: the kernel
+	// delivers SIGXCPU when the process's total CPU time crosses it (the
+	// hard limit, two seconds later, is SIGKILL). The parent maps a
+	// SIGXCPU death onto the step-budget outcome.
+	CPUSecs int64
+	// MemBytes is the RLIMIT_AS cap on the process address space. A
+	// child that outgrows it sees allocation failure; the Go runtime
+	// turns that into a fatal out-of-memory exit the parent treats as a
+	// tier failure and re-runs in-process.
+	MemBytes int64
+	// NoFile is the RLIMIT_NOFILE cap on new file descriptors.
+	NoFile int64
+}
+
+// Supported reports whether Apply can erect at least the rlimit layer
+// on this platform. The parent consults it to decide whether the step
+// budget rides on RLIMIT_CPU or must fall back to the wall-clock
+// approximation.
+func Supported() bool { return supported }
+
+// Probe reports, without modifying the calling process, the Level that
+// Apply would reach on this kernel. The parent calls it so stats can
+// show the expected containment before the first child has run.
+func Probe() Level { return probe() }
+
+// Apply jails the calling process. It returns the Level actually
+// reached; the only error it can return is a failure to install the
+// rlimit layer (Landlock problems degrade the Level, they are not
+// errors — a pre-5.13 kernel is an expected environment, not a fault).
+func Apply(l Limits) (Level, error) { return apply(l) }
+
+// OnCPUBudget arranges for fn to run (once, on its own goroutine) when
+// the kernel delivers SIGXCPU — the RLIMIT_CPU soft limit. The Go
+// runtime ignores SIGXCPU unless subscribed, so a jailed harness that
+// wants a classifiable budget death (rather than the hard limit's
+// anonymous SIGKILL two seconds later) must call this before running
+// untrusted code. No-op on platforms without rlimits.
+func OnCPUBudget(fn func()) { onCPUBudget(fn) }

@@ -1,0 +1,154 @@
+//go:build linux
+
+package sandbox
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"unsafe"
+)
+
+const supported = true
+
+// Landlock syscall numbers are identical on every Linux architecture
+// (they postdate the asm-generic unification of the syscall table).
+const (
+	sysLandlockCreateRuleset = 444
+	sysLandlockRestrictSelf  = 446
+
+	landlockCreateRulesetVersion = 1 << 0 // flag: query the ABI version
+
+	prSetNoNewPrivs = 38 // prctl
+)
+
+// landlock_ruleset_attr, ABI v1 shape: the kernel uses the size we pass
+// to interpret the struct, so the 8-byte v1 form works on every later
+// ABI.
+type landlockRulesetAttr struct {
+	handledAccessFS uint64
+}
+
+// fsAccessForABI is the full set of filesystem access rights the given
+// Landlock ABI version can handle. Handling a right in the ruleset and
+// then granting it to nothing is how "deny all" is expressed; rights
+// the running kernel does not know must not be named or the ruleset is
+// rejected.
+func fsAccessForABI(abi int) uint64 {
+	// ABI v1: EXECUTE .. MAKE_SYM, 13 rights.
+	access := uint64(1<<13 - 1)
+	if abi >= 2 {
+		access |= 1 << 13 // LANDLOCK_ACCESS_FS_REFER
+	}
+	if abi >= 3 {
+		access |= 1 << 14 // LANDLOCK_ACCESS_FS_TRUNCATE
+	}
+	if abi >= 5 {
+		access |= 1 << 15 // LANDLOCK_ACCESS_FS_IOCTL_DEV
+	}
+	return access
+}
+
+// landlockABI queries the kernel's Landlock ABI version: > 0 when
+// Landlock is available and enabled, 0 when it is not.
+func landlockABI() int {
+	v, _, errno := syscall.Syscall(sysLandlockCreateRuleset, 0, 0, landlockCreateRulesetVersion)
+	if errno != 0 {
+		return 0 // ENOSYS (old kernel) or EOPNOTSUPP (disabled at boot)
+	}
+	return int(v)
+}
+
+func probe() Level {
+	if landlockABI() > 0 {
+		return LevelLandlock
+	}
+	return LevelRlimit
+}
+
+func onCPUBudget(fn func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGXCPU)
+	go func() { <-ch; fn() }()
+}
+
+func apply(l Limits) (Level, error) {
+	// Rlimit layer first: if even this fails the caller must know,
+	// because the parent has mapped the step budget onto RLIMIT_CPU.
+	if err := applyRlimits(l); err != nil {
+		return LevelNone, err
+	}
+	// Landlock layer, best effort: every failure here degrades the level
+	// instead of failing the run — an old kernel is an environment, not
+	// an error, and a jailed-but-unrestricted child is still better than
+	// no child at all.
+	if applyLandlock() {
+		return LevelLandlock, nil
+	}
+	return LevelRlimit, nil
+}
+
+func applyRlimits(l Limits) error {
+	set := func(resource int, soft, hard uint64) error {
+		return syscall.Setrlimit(resource, &syscall.Rlimit{Cur: soft, Max: hard})
+	}
+	// Core dumps: always off. A crashing child must not persist a memory
+	// image of the (server-derived) process to disk it can still reach.
+	if err := set(syscall.RLIMIT_CORE, 0, 0); err != nil {
+		return err
+	}
+	if l.CPUSecs > 0 {
+		// Soft limit delivers SIGXCPU. The Go runtime *ignores* SIGXCPU
+		// unless user code subscribes (its sigtable entry is _SigNotify
+		// only), so the jailed harness must signal.Notify it and exit —
+		// internal/native/child does, with a dedicated exit code the
+		// parent classifies as a budget kill. The hard limit two seconds
+		// later is the kernel's SIGKILL backstop for a child that
+		// somehow never services the signal.
+		if err := set(syscall.RLIMIT_CPU, uint64(l.CPUSecs), uint64(l.CPUSecs)+2); err != nil {
+			return err
+		}
+	}
+	if l.MemBytes > 0 {
+		if err := set(syscall.RLIMIT_AS, uint64(l.MemBytes), uint64(l.MemBytes)); err != nil {
+			return err
+		}
+	}
+	if l.NoFile > 0 {
+		// Applies to *new* descriptors only; stdio and the already-open
+		// runtime fds (epoll) are unaffected.
+		if err := set(syscall.RLIMIT_NOFILE, uint64(l.NoFile), uint64(l.NoFile)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyLandlock erects a deny-all filesystem domain around every thread
+// of the process. Returns false (and leaves the process unrestricted)
+// on any failure.
+func applyLandlock() bool {
+	abi := landlockABI()
+	if abi <= 0 {
+		return false
+	}
+	attr := landlockRulesetAttr{handledAccessFS: fsAccessForABI(abi)}
+	fd, _, errno := syscall.Syscall(sysLandlockCreateRuleset,
+		uintptr(unsafe.Pointer(&attr)), unsafe.Sizeof(attr), 0)
+	if errno != 0 {
+		return false
+	}
+	defer syscall.Close(int(fd))
+	// Landlock domains and no_new_privs are per-thread, and the Go
+	// runtime is multithreaded long before user code runs —
+	// AllThreadsSyscall is the runtime's mechanism for applying a
+	// credential-shaped syscall to every thread at once (it returns
+	// ENOTSUP under cgo, which degrades to the rlimit level).
+	if _, _, errno := syscall.AllThreadsSyscall(syscall.SYS_PRCTL, prSetNoNewPrivs, 1, 0); errno != 0 {
+		return false
+	}
+	if _, _, errno := syscall.AllThreadsSyscall(sysLandlockRestrictSelf, fd, 0, 0); errno != 0 {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package sandbox
+
+// Non-Linux builds have no rlimit story wired up (the native tier is
+// developed and deployed on Linux); the child runs with only OS-process
+// isolation and reports LevelNone, and the parent falls back to the
+// wall-clock approximation of the step budget.
+const supported = false
+
+func probe() Level { return LevelNone }
+
+func apply(Limits) (Level, error) { return LevelNone, nil }
+
+func onCPUBudget(func()) {}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the native tier's circuit breaker. The tier's failure mode
+// is infrastructural — a corrupt binary cache, a full /tmp, a kernel
+// refusing to exec — and when it breaks it usually breaks for every
+// program at once. Each individual failure already falls back in-process
+// correctly, but a fully broken tier would pay the subprocess spawn +
+// kill + fallback tax on every single native-routed job. The breaker
+// bounds that tax: enough infrastructure failures inside a rolling
+// window trip it open, open means jobs route straight to the in-process
+// engines (no spawn attempt), and after a cooldown single probe jobs are
+// let through until one of them succeeds and re-closes it.
+//
+// States:
+//
+//	closed    — normal operation; failures are counted in the window.
+//	open      — no native routing; entered on trip, left after cooldown.
+//	half-open — one probe job at a time may try the tier; a probe
+//	            success re-closes the breaker, a probe failure re-opens
+//	            it (with a fresh cooldown).
+//
+// What counts: only TierErrors are failures. A budget kill, a deadline
+// kill, or a program error is the tier working as designed and counts
+// as a success. Jobs that never reach the tier (result-cache hit, pool
+// rejection) count as neither — their ticket is cancelled.
+type breaker struct {
+	threshold int           // failures in window that trip the breaker
+	window    time.Duration // rolling failure-count window
+	cooldown  time.Duration // open time before the first probe
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures []time.Time // failure timestamps still inside the window
+	openedAt time.Time
+	probing  bool // half-open: a probe ticket is outstanding
+	trips    int64
+}
+
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func newBreaker(threshold int, window, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		window:    window,
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// bkTicket is one admitted job's obligation to report back. Exactly one
+// of succeed/fail/cancel must be called; extra calls are no-ops, so
+// callers can `defer t.cancel()` at admission and settle explicitly on
+// the paths that reached the tier.
+type bkTicket struct {
+	b       *breaker
+	probe   bool
+	settled bool
+}
+
+// allow asks to route one job to the native tier. nil means the breaker
+// is open (or a probe is already in flight): run in-process instead.
+func (b *breaker) allow() *bkTicket {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return &bkTicket{b: b}
+	case bkOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return nil
+		}
+		b.state = bkHalfOpen
+		b.probing = false
+		fallthrough
+	default: // bkHalfOpen
+		if b.probing {
+			return nil
+		}
+		b.probing = true
+		return &bkTicket{b: b, probe: true}
+	}
+}
+
+// stateName reports the current state for stats/healthz, advancing an
+// expired open state to half-open so the report matches what allow
+// would do.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == bkOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return bkHalfOpen.String()
+	}
+	return b.state.String()
+}
+
+// tripCount reports how many times the breaker has opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// stateCode is the numeric state for the metrics gauge: 0 closed,
+// 1 half-open, 2 open.
+func (b *breaker) stateCode() int64 {
+	switch b.stateName() {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (t *bkTicket) succeed() {
+	t.b.mu.Lock()
+	defer t.b.mu.Unlock()
+	if t.settled {
+		return
+	}
+	t.settled = true
+	if t.probe {
+		// The tier is back: full reset.
+		t.b.state = bkClosed
+		t.b.probing = false
+		t.b.failures = nil
+	}
+}
+
+func (t *bkTicket) fail() {
+	b := t.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.settled {
+		return
+	}
+	t.settled = true
+	if t.probe {
+		b.state = bkOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+		return
+	}
+	if b.state != bkClosed {
+		return
+	}
+	now := b.now()
+	keep := b.failures[:0]
+	for _, ts := range b.failures {
+		if now.Sub(ts) < b.window {
+			keep = append(keep, ts)
+		}
+	}
+	b.failures = append(keep, now)
+	if len(b.failures) >= b.threshold {
+		b.state = bkOpen
+		b.openedAt = now
+		b.failures = nil
+		b.trips++
+	}
+}
+
+// cancel releases a ticket whose job never reached the tier, returning
+// a probe slot without judging the tier either way.
+func (t *bkTicket) cancel() {
+	t.b.mu.Lock()
+	defer t.b.mu.Unlock()
+	if t.settled {
+		return
+	}
+	t.settled = true
+	if t.probe && t.b.state == bkHalfOpen {
+		t.b.probing = false
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// bkClock is a manually advanced clock so breaker tests never sleep.
+type bkClock struct{ t time.Time }
+
+func (c *bkClock) now() time.Time          { return c.t }
+func (c *bkClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, window, cooldown time.Duration) (*breaker, *bkClock) {
+	clk := &bkClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, window, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func mustAllow(t *testing.T, b *breaker) *bkTicket {
+	t.Helper()
+	tk := b.allow()
+	if tk == nil {
+		t.Fatalf("allow() denied in state %s", b.stateName())
+	}
+	return tk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b).fail()
+		if got := b.stateName(); got != "closed" {
+			t.Fatalf("after %d failures state = %s, want closed", i+1, got)
+		}
+	}
+	mustAllow(t, b).fail()
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("after threshold failures state = %s, want open", got)
+	}
+	if b.allow() != nil {
+		t.Fatal("open breaker admitted a job")
+	}
+	if got := b.tripCount(); got != 1 {
+		t.Fatalf("tripCount = %d, want 1", got)
+	}
+}
+
+func TestBreakerWindowExpiresOldFailures(t *testing.T) {
+	b, clk := testBreaker(3, time.Minute, 10*time.Second)
+	mustAllow(t, b).fail()
+	mustAllow(t, b).fail()
+	clk.advance(2 * time.Minute) // both failures age out of the window
+	mustAllow(t, b).fail()
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("state = %s after stale failures, want closed", got)
+	}
+}
+
+func TestBreakerProbeLifecycle(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute, 10*time.Second)
+	mustAllow(t, b).fail() // threshold 1: trips immediately
+	if b.allow() != nil {
+		t.Fatal("open breaker admitted a job before cooldown")
+	}
+
+	clk.advance(11 * time.Second)
+	if got := b.stateName(); got != "half-open" {
+		t.Fatalf("state after cooldown = %s, want half-open", got)
+	}
+	probe := mustAllow(t, b)
+	if !probe.probe {
+		t.Fatal("post-cooldown ticket is not a probe")
+	}
+	if b.allow() != nil {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe failure: back to open, fresh cooldown, another trip.
+	probe.fail()
+	if got := b.stateName(); got != "open" {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if got := b.tripCount(); got != 2 {
+		t.Fatalf("tripCount = %d, want 2", got)
+	}
+
+	// Cooldown again; this probe succeeds and fully closes the breaker.
+	clk.advance(11 * time.Second)
+	mustAllow(t, b).succeed()
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	// Fully reset: one new failure must not re-trip a threshold-2 history.
+	if b.allow() == nil {
+		t.Fatal("closed breaker denied a job")
+	}
+}
+
+func TestBreakerProbeCancelReleasesSlot(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute, 10*time.Second)
+	mustAllow(t, b).fail()
+	clk.advance(11 * time.Second)
+
+	// The probe job is answered by the result cache and never reaches the
+	// tier: its deferred cancel must hand the probe slot back, or the
+	// breaker wedges half-open forever.
+	probe := mustAllow(t, b)
+	if b.allow() != nil {
+		t.Fatal("probe slot double-granted")
+	}
+	probe.cancel()
+	next := mustAllow(t, b)
+	if !next.probe {
+		t.Fatal("re-granted ticket is not a probe")
+	}
+	next.succeed()
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("state = %s, want closed", got)
+	}
+}
+
+func TestBreakerTicketSettleIsIdempotent(t *testing.T) {
+	b, _ := testBreaker(2, time.Minute, 10*time.Second)
+	tk := mustAllow(t, b)
+	tk.fail()
+	tk.cancel() // the deferred cancel after an explicit settle: no-op
+	tk.fail()   // double-settle: no-op
+	b.mu.Lock()
+	n := len(b.failures)
+	b.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("one failed ticket recorded %d failures", n)
+	}
+
+	// succeed-then-cancel on a probe must not release the closed state.
+	tk2 := mustAllow(t, b)
+	tk2.succeed()
+	tk2.cancel()
+	if got := b.stateName(); got != "closed" {
+		t.Fatalf("state = %s, want closed", got)
+	}
+}

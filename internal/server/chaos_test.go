@@ -1,0 +1,436 @@
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/gogen"
+	"repro/internal/native"
+	"repro/internal/native/sandbox"
+)
+
+// The chaos tests arm internal/faultinject failpoints against a real
+// server and assert the graceful-degradation contract: every injected
+// infrastructure failure must end with the client receiving a correct
+// response (byte-identical to an in-process run), the program demoted
+// where the binary is suspect, and every counter closing exactly.
+// Failpoints are process-global, so each test arms with a finite count
+// and defers faultinject.Reset.
+
+// chaosSrc builds a distinct trivial program per tag. Distinct sources
+// hash to distinct program keys, so tests that demote (and therefore
+// delete binaries) can never interfere with each other through the
+// shared build helper.
+func chaosSrc(tag string) string {
+	return "HAI 1.2\nVISIBLE \"" + tag + "\"\nKTHXBYE"
+}
+
+// growSrc doubles an 8-byte string 24 times (to 128 MiB): trivial under
+// the step budget and cheap in-process, but guaranteed to blow any
+// RLIMIT_AS below its working set when run as a sandboxed native child.
+const growSrc = `HAI 1.2
+I HAS A s ITZ "xxxxxxxx"
+I HAS A i ITZ 0
+IM IN YR grow UPPIN YR i TIL BOTH SAEM i AN 24
+  s R SMOOSH s AN s MKAY
+IM OUTTA YR grow
+VISIBLE "grew"
+KTHXBYE`
+
+// buildNativeBinaries emits every source and compiles all of them with
+// ONE `go build`, installing the results under the cache's public
+// PathFor layout so a threshold-1 server adopts them on the second
+// request (same trick as TestNativeTierConformanceCorpus).
+func buildNativeBinaries(t *testing.T, cache *native.Cache, srcs ...string) {
+	t.Helper()
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRoot, err := os.MkdirTemp(moduleRoot, "native-chaos-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(genRoot) })
+
+	var shas []string
+	for i, src := range srcs {
+		prog, err := core.Parse(fmt.Sprintf("chaos%02d.lol", i), src)
+		if err != nil {
+			t.Fatalf("chaos program %d: parse: %v", i, err)
+		}
+		out, err := gogen.Emit(prog.Info)
+		if err != nil {
+			t.Fatalf("chaos program %d: emit: %v", i, err)
+		}
+		key := KeyOf(src)
+		sha := hex.EncodeToString(key[:])
+		dir := filepath.Join(genRoot, "b"+sha)
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		shas = append(shas, sha)
+	}
+
+	binDir := filepath.Join(genRoot, "bin")
+	if err := os.Mkdir(binDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	goTool, _ := exec.LookPath("go")
+	build := exec.Command(goTool, "build", "-o", binDir, "./"+filepath.Base(genRoot)+"/...")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("chaos programs do not compile: %v\n%s", err, out)
+	}
+	for _, sha := range shas {
+		if err := os.Rename(filepath.Join(binDir, "b"+sha), cache.PathFor(sha)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// mustOK fails the test unless the response completed in-process (or on
+// the given tier) with outcome ok.
+func mustOK(t *testing.T, resp RunResponse, what string) RunResponse {
+	t.Helper()
+	if resp.Outcome != OutcomeOK {
+		t.Fatalf("%s: outcome %q (%s)", what, resp.Outcome, resp.Error)
+	}
+	return resp
+}
+
+// TestChaosChildKillFallback: the promoted child is killed mid-run for
+// no kernel-attributable reason (OOM-killer pick, operator kill -9).
+// The client must still get the correct bytes from the in-process
+// fallback, and the suspect binary must be demoted AND deleted from
+// disk so a restarted server cannot re-adopt it.
+func TestChaosChildKillFallback(t *testing.T) {
+	requireGo(t)
+	defer faultinject.Reset()
+	cache := newNativeCache(t)
+	src := chaosSrc("kill the child")
+	buildNativeBinaries(t, cache, src)
+	srv := New(Options{Workers: 2, ResultCacheSize: -1,
+		NativeCache: cache, NativeThreshold: 1})
+	defer srv.Close()
+	ctx := context.Background()
+	req := RunRequest{Src: src, NP: 2, Seed: 7}
+
+	base := mustOK(t, srv.Run(ctx, req), "baseline run")
+	mustOK(t, srv.Run(ctx, req), "warm run") // adopts the prebuilt binary
+
+	if err := faultinject.Arm("native.run.kill=1"); err != nil {
+		t.Fatal(err)
+	}
+	resp := mustOK(t, srv.Run(ctx, req), "run with child killed")
+	if resp.Tier == "native" {
+		t.Fatal("killed child still answered natively")
+	}
+	if resp.Output != base.Output {
+		t.Errorf("fallback body diverges: %q != %q", resp.Output, base.Output)
+	}
+	if got := faultinject.Fired("native.run.kill"); got != 1 {
+		t.Fatalf("failpoint fired %d times, want 1", got)
+	}
+
+	st := srv.Stats().Native
+	if st.Fallbacks != 1 || st.Demotions != 1 {
+		t.Errorf("fallbacks=%d demotions=%d, want 1/1", st.Fallbacks, st.Demotions)
+	}
+	key := KeyOf(src)
+	if _, ok := cache.Lookup(hex.EncodeToString(key[:])); ok {
+		t.Error("demoted binary still on disk; a restarted server would re-adopt it")
+	}
+	if again := mustOK(t, srv.Run(ctx, req), "post-demotion run"); again.Tier == "native" {
+		t.Error("demoted program routed native again")
+	}
+}
+
+// TestChaosCorruptBinaryFallback: the publish step writes a torn,
+// non-executable binary (the on-disk shape of a bad disk or a partial
+// write that survived rename). The first native-routed job must fall
+// back with an identical body and scrub the corrupt file from disk.
+func TestChaosCorruptBinaryFallback(t *testing.T) {
+	requireGo(t)
+	defer faultinject.Reset()
+	cache := newNativeCache(t)
+	srv := New(Options{Workers: 2, ResultCacheSize: -1,
+		NativeCache: cache, NativeThreshold: 1})
+	defer srv.Close()
+	ctx := context.Background()
+	if err := faultinject.Arm("native.build.corrupt=1"); err != nil {
+		t.Fatal(err)
+	}
+	src := chaosSrc("torn write")
+	req := RunRequest{Src: src, NP: 2, Seed: 1}
+
+	base := mustOK(t, srv.Run(ctx, req), "baseline run")
+	mustOK(t, srv.Run(ctx, req), "warm run") // crosses the threshold, queues the build
+
+	deadline := time.Now().Add(120 * time.Second)
+	for srv.Stats().Native.Ready == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("corrupted binary never published: %+v", srv.Stats().Native)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := faultinject.Fired("native.build.corrupt"); got != 1 {
+		t.Fatalf("failpoint fired %d times, want 1", got)
+	}
+
+	resp := mustOK(t, srv.Run(ctx, req), "run against corrupt binary")
+	if resp.Tier == "native" {
+		t.Fatal("corrupt binary answered natively")
+	}
+	if resp.Output != base.Output {
+		t.Errorf("fallback body diverges: %q != %q", resp.Output, base.Output)
+	}
+	st := srv.Stats().Native
+	if st.Fallbacks != 1 || st.Demotions != 1 {
+		t.Errorf("fallbacks=%d demotions=%d, want 1/1", st.Fallbacks, st.Demotions)
+	}
+	key := KeyOf(src)
+	if _, ok := cache.Lookup(hex.EncodeToString(key[:])); ok {
+		t.Error("corrupt binary still on disk after demotion")
+	}
+}
+
+// TestChaosBuildFailure: the toolchain fails. The program becomes
+// terminally unpromotable, the failure is counted, and jobs keep being
+// answered in-process — promotion trouble is never client-visible.
+func TestChaosBuildFailure(t *testing.T) {
+	requireGo(t)
+	defer faultinject.Reset()
+	cache := newNativeCache(t)
+	srv := New(Options{Workers: 2, ResultCacheSize: -1,
+		NativeCache: cache, NativeThreshold: 1})
+	defer srv.Close()
+	ctx := context.Background()
+	if err := faultinject.Arm("native.build.fail=1"); err != nil {
+		t.Fatal(err)
+	}
+	req := RunRequest{Src: chaosSrc("will not build"), NP: 2, Seed: 1}
+
+	mustOK(t, srv.Run(ctx, req), "baseline run")
+	mustOK(t, srv.Run(ctx, req), "warm run")
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Stats().Native.BuildFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("build failure never recorded: %+v", srv.Stats().Native)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp := mustOK(t, srv.Run(ctx, req), "post-failure run")
+	if resp.Tier == "native" {
+		t.Fatal("unbuilt program routed native")
+	}
+	st := srv.Stats().Native
+	if st.Unpromotable != 1 || st.Ready != 0 || st.Promotions != 0 {
+		t.Errorf("failed build not terminal: %+v", st)
+	}
+}
+
+// TestChaosBreakerTripAndRecover drives the tier-wide circuit breaker
+// through its whole lifecycle with injected child deaths: two distinct
+// programs fail (window threshold 2) and trip it open, a third program
+// with a perfectly good binary is shed in-process while it is open, and
+// after the cooldown the half-open probe succeeds and closes it again.
+func TestChaosBreakerTripAndRecover(t *testing.T) {
+	requireGo(t)
+	defer faultinject.Reset()
+	cache := newNativeCache(t)
+	srcA, srcB, srcC := chaosSrc("breaker a"), chaosSrc("breaker b"), chaosSrc("breaker c")
+	buildNativeBinaries(t, cache, srcA, srcB, srcC)
+	srv := New(Options{Workers: 2, ResultCacheSize: -1,
+		NativeCache: cache, NativeThreshold: 1,
+		NativeBreakerThreshold: 2,
+		NativeBreakerWindow:    time.Minute,
+		NativeBreakerCooldown:  100 * time.Millisecond,
+	})
+	defer srv.Close()
+	ctx := context.Background()
+
+	base := map[string]string{}
+	for _, src := range []string{srcA, srcB, srcC} {
+		req := RunRequest{Src: src, NP: 2, Seed: 3}
+		base[src] = mustOK(t, srv.Run(ctx, req), "baseline").Output
+		mustOK(t, srv.Run(ctx, req), "warm") // adopts the prebuilt binary
+	}
+
+	// Two consecutive child kills on two different programs: failures 1
+	// and 2 inside the window trip the breaker.
+	if err := faultinject.Arm("native.run.kill=2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{srcA, srcB} {
+		resp := mustOK(t, srv.Run(ctx, RunRequest{Src: src, NP: 2, Seed: 3}), "killed run")
+		if resp.Tier == "native" || resp.Output != base[src] {
+			t.Fatalf("killed run: tier=%q output=%q", resp.Tier, resp.Output)
+		}
+	}
+	st := srv.Stats().Native
+	if st.Breaker != "open" || st.BreakerTrips != 1 {
+		t.Fatalf("breaker=%s trips=%d after threshold failures, want open/1", st.Breaker, st.BreakerTrips)
+	}
+	if st.Demotions != 2 || st.Fallbacks != 2 {
+		t.Errorf("demotions=%d fallbacks=%d, want 2/2", st.Demotions, st.Fallbacks)
+	}
+
+	// Open breaker: C's binary is healthy and ready, but the tier is not
+	// trusted — the job is shed in-process, correctly.
+	shed := mustOK(t, srv.Run(ctx, RunRequest{Src: srcC, NP: 2, Seed: 3}), "shed run")
+	if shed.Tier == "native" {
+		t.Fatal("open breaker admitted a job to the tier")
+	}
+	if shed.Output != base[srcC] {
+		t.Errorf("shed body diverges: %q != %q", shed.Output, base[srcC])
+	}
+	if st := srv.Stats().Native; st.BreakerSheds == 0 {
+		t.Error("shed job not counted")
+	}
+
+	// After the cooldown the next job is the half-open probe; the fault
+	// budget is spent, so it runs natively, succeeds, and closes the
+	// breaker for everyone.
+	time.Sleep(250 * time.Millisecond)
+	probe := mustOK(t, srv.Run(ctx, RunRequest{Src: srcC, NP: 2, Seed: 3}), "probe run")
+	if probe.Tier != "native" {
+		t.Fatalf("probe ran on tier %q, want native", probe.Tier)
+	}
+	if probe.Output != base[srcC] {
+		t.Errorf("probe body diverges: %q != %q", probe.Output, base[srcC])
+	}
+	if st := srv.Stats().Native; st.Breaker != "closed" {
+		t.Errorf("breaker=%s after successful probe, want closed", st.Breaker)
+	}
+}
+
+// TestChaosResultCacheClaimDrop: the store is lost between execution
+// and fulfilment (the injected shape of an eviction at the worst
+// moment). The leader's own response must be unaffected, later equal
+// keys must re-execute rather than hang, and the hit/miss counters must
+// close exactly.
+func TestChaosResultCacheClaimDrop(t *testing.T) {
+	defer faultinject.Reset()
+	if err := faultinject.Arm("server.resultcache.dropfulfill=1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Workers: 2})
+	defer srv.Close()
+	ctx := context.Background()
+	req := RunRequest{Src: helloSrc, NP: 2, Seed: 42}
+
+	first := mustOK(t, srv.Run(ctx, req), "leader run")
+	if first.ResultCacheHit {
+		t.Fatal("first run cannot be a hit")
+	}
+	second := mustOK(t, srv.Run(ctx, req), "run after dropped fulfil")
+	if second.ResultCacheHit {
+		t.Fatal("dropped store must force a re-execution, not a hit")
+	}
+	if second.Output != first.Output {
+		t.Errorf("re-executed body diverges: %q != %q", second.Output, first.Output)
+	}
+	third := mustOK(t, srv.Run(ctx, req), "run after intact fulfil")
+	if !third.ResultCacheHit || third.Output != first.Output {
+		t.Errorf("third run: hit=%v output=%q, want hit with %q", third.ResultCacheHit, third.Output, first.Output)
+	}
+
+	rc := srv.Stats().ResultCache
+	if rc.Misses != 2 || rc.Hits != 1 || rc.Coalesced != 0 {
+		t.Errorf("counters did not close: misses=%d hits=%d coalesced=%d, want 2/1/0",
+			rc.Misses, rc.Hits, rc.Coalesced)
+	}
+}
+
+// TestNativeOutcomeInvariants pins the outcome-mapping contract across
+// the interp/native boundary: a step-budget death is `budget` on both
+// tiers (natively: the child's RLIMIT_CPU kill), a wall-deadline death
+// is `timeout` on both, and an rlimit-OOM child death is invisible —
+// the job falls back in-process and the client sees the ok body.
+func TestNativeOutcomeInvariants(t *testing.T) {
+	requireGo(t)
+	if !sandbox.Supported() {
+		t.Skip("kernel step-budget analog needs the linux sandbox")
+	}
+	cache := newNativeCache(t)
+	buildNativeBinaries(t, cache, spinSrc, growSrc)
+	srv := New(Options{Workers: 2, ResultCacheSize: -1,
+		NativeCache: cache, NativeThreshold: 1})
+	defer srv.Close()
+	ctx := context.Background()
+
+	t.Run("step budget is the RLIMIT_CPU kill", func(t *testing.T) {
+		// NP=1 x 20k steps / 20M steps-per-second, rounded up: the child
+		// gets 1 CPU second and the spin must die of it, not the deadline.
+		req := RunRequest{Src: spinSrc, NP: 1, MaxSteps: 20_000, TimeoutMS: 20_000}
+		for i := 0; i < 2; i++ {
+			resp := srv.Run(ctx, req)
+			if resp.Outcome != OutcomeBudget || resp.Tier == "native" {
+				t.Fatalf("in-process run %d: tier=%q outcome=%q, want budget", i, resp.Tier, resp.Outcome)
+			}
+		}
+		resp := srv.Run(ctx, req)
+		if resp.Tier != "native" {
+			t.Fatalf("third run on tier %q, want native", resp.Tier)
+		}
+		if resp.Outcome != OutcomeBudget {
+			t.Fatalf("native RLIMIT_CPU death = %q (%s), want budget", resp.Outcome, resp.Error)
+		}
+	})
+
+	t.Run("deadline is a timeout on both tiers", func(t *testing.T) {
+		// spinSrc is already promoted by the subtest above, so this run
+		// routes native immediately. The 400M-step budget converts to ~21
+		// CPU seconds; the 200ms wall deadline must win and classify as
+		// timeout, exactly like the in-process kill in TestRunOutcomes.
+		req := RunRequest{Src: spinSrc, NP: 1, MaxSteps: 400_000_000, TimeoutMS: 200}
+		resp := srv.Run(ctx, req)
+		if resp.Tier != "native" {
+			t.Fatalf("run on tier %q, want native", resp.Tier)
+		}
+		if resp.Outcome != OutcomeTimeout {
+			t.Fatalf("native deadline death = %q (%s), want timeout", resp.Outcome, resp.Error)
+		}
+		// Budget and deadline kills are the tier doing its job: no
+		// demotion, and the breaker must still be closed.
+		st := srv.Stats().Native
+		if st.Demotions != 0 || st.Breaker != "closed" {
+			t.Errorf("budget/timeout kills demoted or tripped: %+v", st)
+		}
+	})
+
+	t.Run("rlimit OOM falls back with an identical body", func(t *testing.T) {
+		// A separate server with a 64 MiB child RLIMIT_AS: growSrc needs
+		// ~128 MiB, so the native child must die of the cap while the
+		// in-process runs complete untouched.
+		oomSrv := New(Options{Workers: 2, ResultCacheSize: -1,
+			NativeCache: cache, NativeThreshold: 1, NativeMemBytes: 64 << 20})
+		defer oomSrv.Close()
+		req := RunRequest{Src: growSrc, NP: 1, Seed: 5, TimeoutMS: 20_000}
+		base := mustOK(t, oomSrv.Run(ctx, req), "baseline grow run")
+		mustOK(t, oomSrv.Run(ctx, req), "warm grow run")
+		resp := mustOK(t, oomSrv.Run(ctx, req), "grow run under the cap")
+		if resp.Tier == "native" {
+			t.Fatal("child outgrew RLIMIT_AS yet answered natively")
+		}
+		if resp.Output != base.Output {
+			t.Errorf("fallback body diverges: %q != %q", resp.Output, base.Output)
+		}
+		st := oomSrv.Stats().Native
+		if st.Fallbacks != 1 || st.Demotions != 1 {
+			t.Errorf("fallbacks=%d demotions=%d, want 1/1", st.Fallbacks, st.Demotions)
+		}
+	})
+}

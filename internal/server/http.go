@@ -35,10 +35,12 @@ import (
 // Job outcomes (runtime error, budget kill, timeout) are reported in the
 // 200 response body — the request was served; the program failed. Only
 // protocol-level problems map to error statuses: malformed JSON is 400,
-// an invalid or oversized request is 422, a saturated queue is 429. For
-// /v1/batch the protocol check covers only the envelope (parseable JSON,
-// 1..MaxBatchJobs jobs); per-job problems, including rejections, ride in
-// that job's streamed item.
+// an invalid or oversized request is 422, and a saturated queue sheds
+// load with 503 plus a Retry-After header — the server is healthy but
+// full, and the client should come back, not back off as if throttled.
+// For /v1/batch the protocol check covers only the envelope (parseable
+// JSON, 1..MaxBatchJobs jobs); per-job problems, including rejections,
+// ride in that job's streamed item.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -173,7 +175,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// the job down and releases its PEs.
 	resp := s.Run(r.Context(), req)
 	wStart := time.Now()
-	writeJSON(w, statusFor(resp.Outcome, resp.Error), resp)
+	status := statusFor(resp.Outcome, resp.Error)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSecs)
+	}
+	writeJSON(w, status, resp)
 	sp.Record(stageRespond, time.Since(wStart))
 }
 
@@ -209,6 +215,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if s.pool.saturated() {
+		// Shed the whole batch before committing the 200 stream: once
+		// streaming starts the envelope status is spent, and a saturated
+		// pool would just emit MaxBatchJobs rejected lines anyway.
+		s.jobsRejected.Add(int64(len(req.Jobs)))
+		s.metrics.outcomes.With(string(OutcomeRejected)).Add(int64(len(req.Jobs)))
+		w.Header().Set("Retry-After", retryAfterSecs)
+		writeJSON(w, http.StatusServiceUnavailable, RunResponse{
+			Outcome: OutcomeRejected, Error: ErrBusy.Error(),
+		})
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -240,11 +258,16 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// retryAfterSecs is the Retry-After value sent with every 503: queue
+// saturation clears in well under a second once any job finishes, so a
+// one-second backoff is the smallest hint the header grammar can carry.
+const retryAfterSecs = "1"
+
 func statusFor(o Outcome, errMsg string) int {
 	switch o {
 	case OutcomeRejected:
 		if errMsg == ErrBusy.Error() {
-			return http.StatusTooManyRequests
+			return http.StatusServiceUnavailable
 		}
 		return http.StatusUnprocessableEntity
 	case OutcomeParseError:
@@ -269,17 +292,25 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz answers the liveness probe with enough identity to tell
-// which build is serving: runtime and codegen versions plus uptime. A
-// plain `curl -f` still works — status stays 200 and "ok" is in the body.
+// which build is serving: runtime and codegen versions plus uptime, and
+// — when the native tier is on — its degradation state (breaker and
+// sandbox level), so a fleet check can spot a server quietly running
+// three-tiered. A plain `curl -f` still works — status stays 200 and
+// "ok" is in the body; a tripped breaker is degradation, not death.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":       "ok",
 		"go":           runtime.Version(),
 		"gogen":        gogen.Version,
 		"uptime_s":     time.Since(s.start).Seconds(),
 		"native_tier":  s.native != nil,
 		"result_cache": s.results != nil,
-	})
+	}
+	if s.native != nil {
+		body["native_breaker"] = s.native.breaker.stateName()
+		body["native_sandbox"] = s.native.sandboxState()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleSlow serves the slowest recent requests (default 16, ?n= caps it)

@@ -117,6 +117,13 @@ func newServerMetrics(s *Server, slowWindow int) *serverMetrics {
 		reg.RegisterCounter("lolserv_native_demotions_total", "Programs demoted after a tier failure.", &s.native.demotions)
 		reg.RegisterCounter("lolserv_native_runs_total", "Jobs the native tier answered.", &s.native.runs)
 		reg.RegisterCounter("lolserv_native_fallbacks_total", "Jobs re-run in-process after a tier failure.", &s.native.fallbacks)
+		reg.RegisterCounter("lolserv_native_breaker_sheds_total", "Jobs kept in-process by an open circuit breaker.", &s.native.breakerSheds)
+		reg.GaugeFunc("lolserv_native_breaker_state", "Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return float64(s.native.breaker.stateCode()) })
+		reg.GaugeFunc("lolserv_native_breaker_trips_total", "Times the circuit breaker has opened.",
+			func() float64 { return float64(s.native.breaker.tripCount()) })
+		reg.GaugeFunc("lolserv_native_cache_evictions_total", "Binaries deleted by the disk quota.",
+			func() float64 { return float64(s.native.cache.Evictions()) })
 		reg.GaugeFunc("lolserv_native_cache_bytes", "Bytes of promoted binaries on disk.",
 			func() float64 { b, _ := s.native.cache.DiskUsage(); return float64(b) })
 		reg.GaugeFunc("lolserv_native_cache_entries", "Promoted binaries on disk.",

@@ -10,20 +10,24 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/native"
+	"repro/internal/native/sandbox"
 	"repro/internal/obs"
 )
 
 // nativeStepsPerSecond converts a per-PE step budget into the native
-// tier's wall-clock approximation of it. Generated code has no step
-// counter — that is the whole point of the tier — so a job routed
-// natively runs under a deadline of MaxSteps/nativeStepsPerSecond
-// instead. The rate is a deliberate *underestimate* of real native
-// throughput (measured well above 100M simple steps/s): a program
-// within its budget always finishes before the approximated deadline,
-// so promotion can never turn an OK run into a budget kill. The
-// opposite divergence is allowed and documented: a program the metered
-// tiers would kill may complete natively. Result-cache safety comes
-// from the tier salt, not from matching kill behaviour.
+// tier's approximation of it. Generated code has no step counter — that
+// is the whole point of the tier — so the budget is converted to time:
+// on platforms with the sandbox, an RLIMIT_CPU second count the child
+// imposes on itself (NP x MaxSteps worth of CPU, since the kernel meters
+// all PE goroutines together), elsewhere a wall-clock deadline of
+// MaxSteps/nativeStepsPerSecond. The rate is a deliberate
+// *underestimate* of real native throughput (measured well above 100M
+// simple steps/s): a program within its budget always finishes before
+// the approximated limit, so promotion can never turn an OK run into a
+// budget kill. The opposite divergence is allowed and documented: a
+// program the metered tiers would kill may complete natively.
+// Result-cache safety comes from the tier salt, not from matching kill
+// behaviour.
 const nativeStepsPerSecond = 20_000_000
 
 // maxTrackedNative bounds the promotion-state map: an adversary
@@ -51,11 +55,15 @@ type nativeProg struct {
 }
 
 // nativeTier owns the promotion policy: per-program lifecycle state, the
-// bounded background build queue, and the counters /v1/stats reports.
-// Build and run mechanics live in internal/native.
+// bounded background build queue, the tier-wide circuit breaker, and the
+// counters /v1/stats reports. Build and run mechanics live in
+// internal/native.
 type nativeTier struct {
 	cache     *native.Cache
 	threshold int64
+	memBytes  int64 // child RLIMIT_AS; 0 = none
+	noSandbox bool
+	breaker   *breaker
 
 	queue       chan nativeBuildJob
 	stop        chan struct{}
@@ -63,8 +71,9 @@ type nativeTier struct {
 	buildCancel context.CancelFunc
 	wg          sync.WaitGroup
 
-	mu    sync.Mutex
-	progs map[Key]*nativeProg
+	mu           sync.Mutex
+	progs        map[Key]*nativeProg
+	sandboxLevel string // Probe prediction until the first child reports
 
 	promotions    obs.Counter // binaries built (or adopted from disk)
 	buildFailures obs.Counter
@@ -72,6 +81,7 @@ type nativeTier struct {
 	demotions     obs.Counter
 	runs          obs.Counter
 	fallbacks     obs.Counter // tier failures that re-ran in-process
+	breakerSheds  obs.Counter // jobs kept in-process by an open breaker
 }
 
 type nativeBuildJob struct {
@@ -79,16 +89,28 @@ type nativeBuildJob struct {
 	prog *core.Program
 }
 
-func newNativeTier(cache *native.Cache, threshold int64, builders int) *nativeTier {
+func newNativeTier(o Options) *nativeTier {
+	builders := o.NativeBuilds
 	if builders <= 0 {
 		builders = 1
 	}
+	memBytes := o.NativeMemBytes
+	if memBytes < 0 {
+		memBytes = 0 // explicit "no limit"
+	}
 	nt := &nativeTier{
-		cache:     cache,
-		threshold: threshold,
-		queue:     make(chan nativeBuildJob, nativeBuildQueueDepth),
-		stop:      make(chan struct{}),
-		progs:     make(map[Key]*nativeProg),
+		cache:        o.NativeCache,
+		threshold:    o.NativeThreshold,
+		memBytes:     memBytes,
+		noSandbox:    o.NativeNoSandbox,
+		breaker:      newBreaker(o.NativeBreakerThreshold, o.NativeBreakerWindow, o.NativeBreakerCooldown),
+		queue:        make(chan nativeBuildJob, nativeBuildQueueDepth),
+		stop:         make(chan struct{}),
+		progs:        make(map[Key]*nativeProg),
+		sandboxLevel: string(sandbox.Probe()),
+	}
+	if nt.noSandbox {
+		nt.sandboxLevel = string(sandbox.LevelNone)
 	}
 	nt.buildCtx, nt.buildCancel = context.WithCancel(context.Background())
 	nt.wg.Add(builders)
@@ -96,6 +118,25 @@ func newNativeTier(cache *native.Cache, threshold int64, builders int) *nativeTi
 		go nt.builder()
 	}
 	return nt
+}
+
+// noteSandbox records the containment level a child actually reported,
+// replacing the parent-side Probe prediction in stats.
+func (nt *nativeTier) noteSandbox(level string) {
+	if level == "" {
+		return
+	}
+	nt.mu.Lock()
+	nt.sandboxLevel = level
+	nt.mu.Unlock()
+}
+
+// sandboxState reports the current (predicted or child-confirmed)
+// containment level.
+func (nt *nativeTier) sandboxState() string {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	return nt.sandboxLevel
 }
 
 func (nt *nativeTier) close() {
@@ -163,16 +204,22 @@ func (nt *nativeTier) maybePromote(key Key, prog *core.Program, hits int64) {
 }
 
 // demote terminally removes a program from the tier after an
-// infrastructure failure at run time (binary missing, protocol broken).
-// The disk binary is left in place — a later process may be healthier —
-// but this process never routes to it again.
+// infrastructure failure at run time (binary missing, protocol broken)
+// and deletes its cached binary: a binary that broke the protocol once
+// is suspect forever, and leaving it on disk would let a restarted
+// server re-adopt it and break the same way again.
 func (nt *nativeTier) demote(key Key) {
 	nt.mu.Lock()
+	demoted := false
 	if p, ok := nt.progs[key]; ok && p.state == nativeReady {
 		p.state = nativeUnpromotable
 		nt.demotions.Add(1)
+		demoted = true
 	}
 	nt.mu.Unlock()
+	if demoted {
+		nt.cache.Remove(hex.EncodeToString(key[:]))
+	}
 }
 
 func (nt *nativeTier) builder() {
@@ -210,17 +257,38 @@ func (nt *nativeTier) build(job nativeBuildJob) {
 	}
 }
 
+// nativeRoute is one job's admission to the native tier: the promoted
+// binary plus the breaker ticket the job must settle (succeed on any
+// answered run, fail on a tier failure, cancel if it never reaches the
+// tier).
+type nativeRoute struct {
+	bin    string
+	ticket *bkTicket
+}
+
 // runNative executes one job on a promoted binary. The third return
 // reports whether the native tier answered at all: false means an
 // infrastructure failure demoted the program and the caller must re-run
 // the job on the in-process engine.
-func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, bin string,
+func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, route *nativeRoute,
 	prog *core.Program, timeout time.Duration, steps int64, resp RunResponse) (RunResponse, bool, bool) {
-	// The step budget becomes a wall deadline (see nativeStepsPerSecond);
-	// whichever budget is tighter carries its own classification cause.
+	spec := native.RunSpec{
+		NP: req.NP, Seed: req.Seed, Stdin: req.Stdin, MaxOutput: s.opts.MaxOutputBytes,
+		MemBytes:  s.native.memBytes,
+		NoSandbox: s.native.noSandbox,
+	}
 	var jobCtx context.Context
 	var cancel context.CancelFunc
-	if budget := time.Duration(float64(steps) / nativeStepsPerSecond * float64(time.Second)); budget < timeout {
+	if sandbox.Supported() && !s.native.noSandbox {
+		// The step budget rides on the child's RLIMIT_CPU: the kernel
+		// meters all PE goroutines together, so the allowance is NP x
+		// steps worth of CPU at the assumed (deliberately low) rate,
+		// rounded up. The context carries only the wall deadline.
+		spec.CPUBudgetSecs = int64(float64(req.NP)*float64(steps)/nativeStepsPerSecond) + 1
+		jobCtx, cancel = context.WithTimeout(ctx, timeout)
+	} else if budget := time.Duration(float64(steps) / nativeStepsPerSecond * float64(time.Second)); budget < timeout {
+		// No kernel budget available: the old wall-clock approximation,
+		// with the step-budget sentinel as the kill's cause.
 		jobCtx, cancel = context.WithTimeoutCause(ctx, budget, backend.ErrStepBudget)
 	} else {
 		jobCtx, cancel = context.WithTimeout(ctx, timeout)
@@ -233,9 +301,7 @@ func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, bin str
 
 	s.inFlight.Add(1)
 	start := time.Now()
-	res, runErr := native.RunBinary(jobCtx, bin, native.RunSpec{
-		NP: req.NP, Seed: req.Seed, Stdin: req.Stdin, MaxOutput: s.opts.MaxOutputBytes,
-	})
+	res, runErr := native.RunBinary(jobCtx, route.bin, spec)
 	s.inFlight.Add(-1)
 	wall := time.Since(start)
 	obs.FromContext(ctx).Record(stageExecute, wall)
@@ -245,22 +311,29 @@ func (s *Server) runNative(ctx context.Context, req RunRequest, key Key, bin str
 		// The tier broke, not the program: demote and let the caller's
 		// in-process run do all the counting — this attempt produced
 		// nothing a client sees.
+		route.ticket.fail()
 		s.native.demote(key)
 		s.native.fallbacks.Add(1)
 		return resp, false, false
 	}
+
+	// Anything else — success, program error, budget or deadline kill —
+	// is the tier doing its job.
+	route.ticket.succeed()
+	s.native.cache.Touch(hex.EncodeToString(key[:]))
 
 	s.jobsRun.Add(1)
 	s.native.runs.Add(1)
 	s.metrics.execNative.Inc()
 	resp.WallMS = ms(wall)
 	resp.Tier = "native"
-	if runErr != nil { // context kill: deadline, budget approximation, or client
+	if runErr != nil { // RLIMIT_CPU budget kill, or context kill: deadline / client
 		s.jobsFailed.Add(1)
 		resp.Outcome = classify(runErr, ctx)
 		resp.Error = runErr.Error()
 		return resp, cacheable, true
 	}
+	s.native.noteSandbox(res.Sandbox)
 	resp.Output = res.Output
 	resp.Errout = res.Errout
 	resp.OutputTruncated = res.Truncated
@@ -297,9 +370,21 @@ type NativeStats struct {
 	Fallbacks     int64 `json:"fallbacks"`
 	// CacheBytes and CacheEntries report the on-disk binary cache —
 	// every gogen version's binaries, since stale versions still occupy
-	// disk until cleaned.
-	CacheBytes   int64 `json:"cache_bytes"`
-	CacheEntries int   `json:"cache_entries"`
+	// disk until cleaned. CacheMaxBytes is the configured quota (0 =
+	// unlimited) and Evictions counts binaries the quota has deleted.
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheMaxBytes int64 `json:"cache_max_bytes,omitempty"`
+	Evictions     int64 `json:"evictions"`
+	// Sandbox is the child containment level: the parent's kernel probe
+	// until the first child reports, then whatever children actually
+	// achieve. Breaker is the tier circuit breaker's state
+	// (closed/open/half-open); BreakerTrips counts times it opened and
+	// BreakerSheds counts jobs it kept in-process while open.
+	Sandbox      string `json:"sandbox"`
+	Breaker      string `json:"breaker"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	BreakerSheds int64  `json:"breaker_sheds"`
 }
 
 func (nt *nativeTier) stats() NativeStats {
@@ -309,6 +394,12 @@ func (nt *nativeTier) stats() NativeStats {
 		Threshold:     nt.threshold,
 		CacheBytes:    bytes,
 		CacheEntries:  entries,
+		CacheMaxBytes: nt.cache.MaxBytes(),
+		Evictions:     nt.cache.Evictions(),
+		Sandbox:       nt.sandboxState(),
+		Breaker:       nt.breaker.stateName(),
+		BreakerTrips:  nt.breaker.tripCount(),
+		BreakerSheds:  nt.breakerSheds.Load(),
 		Promotions:    nt.promotions.Load(),
 		BuildFailures: nt.buildFailures.Load(),
 		Unsupported:   nt.unsupported.Load(),

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gogen"
 	"repro/internal/native"
+	"repro/internal/native/sandbox"
 )
 
 func requireGo(t *testing.T) {
@@ -193,6 +194,17 @@ func TestNativeTierConformanceCorpus(t *testing.T) {
 	}
 	if st.Tiers.Native != st.Native.Runs {
 		t.Errorf("per-tier counter (%d) disagrees with native runs (%d)", st.Tiers.Native, st.Native.Runs)
+	}
+	// Every one of those runs came from a self-jailed child, and the
+	// children report the level they actually achieved: stats must show
+	// the kernel's best (the parent probe and the children agree — same
+	// kernel), never silently degrade to an unjailed tier.
+	if sandbox.Supported() {
+		if want := string(sandbox.Probe()); st.Native.Sandbox != want {
+			t.Errorf("stats sandbox = %q, want child-confirmed %q", st.Native.Sandbox, want)
+		}
+	} else if st.Native.Sandbox != string(sandbox.LevelNone) {
+		t.Errorf("stats sandbox = %q on an unsupported platform, want none", st.Native.Sandbox)
 	}
 }
 

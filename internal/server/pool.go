@@ -9,8 +9,8 @@ import (
 )
 
 // ErrBusy reports that the server is at capacity: every worker slot is in
-// use and the wait queue is full. Clients should back off and retry
-// (HTTP 429).
+// use and the wait queue is full. The HTTP layer sheds the request with
+// 503 + Retry-After; clients should retry after the hinted delay.
 var ErrBusy = errors.New("server: all workers busy and queue full")
 
 // pool bounds concurrent job execution to a fixed number of worker slots
@@ -144,3 +144,13 @@ func (p *pool) removeWaiter(key Key, w *waiter) {
 
 // depth reports current waiters (for stats).
 func (p *pool) depth() int { return int(p.waiting.Load()) }
+
+// saturated reports that a job submitted right now would be rejected:
+// no free slot and no queue room. A snapshot, not a reservation — the
+// batch envelope uses it to shed a whole batch up front instead of
+// streaming MaxBatchJobs individual rejections.
+func (p *pool) saturated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free == 0 && int(p.waiting.Load()) >= p.maxWait
+}

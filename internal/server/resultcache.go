@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -164,6 +165,14 @@ func (c *resultCache) acquire(ctx context.Context, key ResultKey) (*RunResponse,
 // ok, untruncated runs of audited-deterministic jobs may be fulfilled;
 // the caller guarantees that.
 func (cl *rcClaim) fulfill(resp *RunResponse) {
+	if faultinject.Fire("server.resultcache.dropfulfill") {
+		// Chaos seam: the store is lost between execution and fulfilment
+		// (as if the entry were evicted at the worst moment). Correctness
+		// requires waiters to re-elect a leader and re-execute, never to
+		// hang or to see a half-stored result.
+		cl.abandonMiss()
+		return
+	}
 	c := cl.c
 	c.mu.Lock()
 	cl.e.resp = cloneResponse(resp)

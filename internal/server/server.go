@@ -116,6 +116,21 @@ type Options struct {
 	NativeThreshold int64
 	// NativeBuilds bounds concurrent background `go build`s (default 1).
 	NativeBuilds int
+	// NativeMemBytes is each native child's RLIMIT_AS cap (default 4 GiB;
+	// -1 disables). A child that outgrows it dies and the job falls back
+	// in-process.
+	NativeMemBytes int64
+	// NativeNoSandbox skips the child self-jail entirely (benchmarking
+	// only; the child reports sandbox level "none").
+	NativeNoSandbox bool
+	// NativeBreakerThreshold trips the tier-wide circuit breaker after
+	// this many infrastructure failures inside NativeBreakerWindow
+	// (defaults 5 and 30s); the breaker then keeps all jobs in-process
+	// for NativeBreakerCooldown (default 15s) before probing the tier
+	// with single jobs until one succeeds.
+	NativeBreakerThreshold int
+	NativeBreakerWindow    time.Duration
+	NativeBreakerCooldown  time.Duration
 
 	// Logger receives one structured line per HTTP request (request ID,
 	// route, status, outcome, per-stage timings). nil discards logs.
@@ -166,6 +181,18 @@ func (o *Options) withDefaults() Options {
 	if out.MaxStepBudget <= 0 {
 		out.MaxStepBudget = 500_000_000
 	}
+	if out.NativeMemBytes == 0 {
+		out.NativeMemBytes = 4 << 30
+	}
+	if out.NativeBreakerThreshold <= 0 {
+		out.NativeBreakerThreshold = 5
+	}
+	if out.NativeBreakerWindow <= 0 {
+		out.NativeBreakerWindow = 30 * time.Second
+	}
+	if out.NativeBreakerCooldown <= 0 {
+		out.NativeBreakerCooldown = 15 * time.Second
+	}
 	if out.Logger == nil {
 		out.Logger = slog.New(slog.DiscardHandler)
 	}
@@ -208,7 +235,7 @@ func New(opts Options) *Server {
 		s.results = newResultCache(o.ResultCacheSize)
 	}
 	if o.NativeCache != nil && o.NativeThreshold > 0 {
-		s.native = newNativeTier(o.NativeCache, o.NativeThreshold, o.NativeBuilds)
+		s.native = newNativeTier(o)
 	}
 	s.metrics = newServerMetrics(s, o.SlowWindow)
 	return s
@@ -333,15 +360,29 @@ func (s *Server) run(ctx context.Context, req RunRequest) RunResponse {
 	// never answer (or be answered by) in-process runs near the budget
 	// margin, and a codegen fix orphans every stale native result.
 	key := KeyOf(req.Src)
-	var nativeBin, tierSalt string
+	var route *nativeRoute
+	var tierSalt string
 	if s.native != nil {
 		if bin, ok := s.native.binaryFor(key); ok {
-			nativeBin, tierSalt = bin, s.native.cache.Salt()
+			if tk := s.native.breaker.allow(); tk != nil {
+				route = &nativeRoute{bin: bin, ticket: tk}
+				tierSalt = s.native.cache.Salt()
+				// A job that never reaches the tier (result-cache hit, pool
+				// rejection, cancellation) must hand back its ticket — in
+				// particular a half-open probe slot — without voting on the
+				// tier's health. settle is idempotent, so the explicit
+				// succeed/fail in runNative wins when the tier does run.
+				defer tk.cancel()
+			} else {
+				// Breaker open: the tier exists but is not trusted right
+				// now. Run in-process under the in-process salt.
+				s.native.breakerSheds.Add(1)
+			}
 		}
 	}
 
 	if s.results == nil {
-		resp, _ := s.execute(ctx, req, key, coreBackend, timeout, steps, nativeBin)
+		resp, _ := s.execute(ctx, req, key, coreBackend, timeout, steps, route)
 		return resp
 	}
 
@@ -367,11 +408,11 @@ func (s *Server) run(ctx context.Context, req RunRequest) RunResponse {
 		cached.QueueMS = msSince(qStart)
 		return *cached
 	case claim == nil: // bypass-marked: known non-cacheable, just run
-		resp, _ := s.execute(ctx, req, key, coreBackend, timeout, steps, nativeBin)
+		resp, _ := s.execute(ctx, req, key, coreBackend, timeout, steps, route)
 		return resp
 	}
 
-	resp, cacheable := s.execute(ctx, req, key, coreBackend, timeout, steps, nativeBin)
+	resp, cacheable := s.execute(ctx, req, key, coreBackend, timeout, steps, route)
 	switch {
 	case resp.Outcome == OutcomeRejected || resp.Outcome == OutcomeCancelled:
 		// The job never really ran; leave the key unresolved for the
@@ -395,11 +436,11 @@ func (s *Server) run(ctx context.Context, req RunRequest) RunResponse {
 // execute runs one validated job to completion on a worker slot. The
 // second return reports whether the job passed the determinism audit —
 // i.e. whether an identical future job could be answered from this
-// run's result. A non-empty nativeBin routes the job to the promoted
-// binary; an infrastructure failure there falls back to the in-process
-// engine below, after demoting the program.
+// run's result. A non-nil route sends the job to the promoted binary;
+// an infrastructure failure there falls back to the in-process engine
+// below, after demoting the program and informing the breaker.
 func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBackend core.Backend,
-	timeout time.Duration, steps int64, nativeBin string) (RunResponse, bool) {
+	timeout time.Duration, steps int64, route *nativeRoute) (RunResponse, bool) {
 	resp := RunResponse{Backend: coreBackend.String(), NP: req.NP}
 	sp := obs.FromContext(ctx)
 
@@ -442,8 +483,8 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 		s.native.maybePromote(key, prog, hits)
 	}
 
-	if nativeBin != "" {
-		if nresp, cacheable, answered := s.runNative(ctx, req, key, nativeBin, prog,
+	if route != nil {
+		if nresp, cacheable, answered := s.runNative(ctx, req, key, route, prog,
 			timeout, steps, resp); answered {
 			return nresp, cacheable
 		}
