@@ -169,23 +169,28 @@ func writeBenchServe(dir string, m *experiments.ServeMetrics) error {
 }
 
 // benchBackendRow is the machine-readable form of one E1 comparison row.
+// vm_over_compile_ratio is the gap the bytecode tier's superinstruction
+// fusion drives down; CI compares it against the committed baseline in
+// BENCH_backend.json and warns (never fails) on a >15% regression.
 type benchBackendRow struct {
-	Workload  string  `json:"workload"`
-	InterpMS  float64 `json:"interp_ms"`
-	VMMS      float64 `json:"vm_ms"`
-	CompileMS float64 `json:"compile_ms"`
-	Speedup   float64 `json:"speedup_interp_over_compile"`
+	Workload      string  `json:"workload"`
+	InterpMS      float64 `json:"interp_ms"`
+	VMMS          float64 `json:"vm_ms"`
+	CompileMS     float64 `json:"compile_ms"`
+	Speedup       float64 `json:"speedup_interp_over_compile"`
+	VMOverCompile float64 `json:"vm_over_compile_ratio"`
 }
 
 func writeBenchBackend(dir string, rows []experiments.BackendsResult) error {
 	out := make([]benchBackendRow, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, benchBackendRow{
-			Workload:  r.Workload,
-			InterpMS:  float64(r.Interp.Microseconds()) / 1000,
-			VMMS:      float64(r.VM.Microseconds()) / 1000,
-			CompileMS: float64(r.Compile.Microseconds()) / 1000,
-			Speedup:   r.Speedup(),
+			Workload:      r.Workload,
+			InterpMS:      float64(r.Interp.Microseconds()) / 1000,
+			VMMS:          float64(r.VM.Microseconds()) / 1000,
+			CompileMS:     float64(r.Compile.Microseconds()) / 1000,
+			Speedup:       r.Speedup(),
+			VMOverCompile: r.VMOverCompile(),
 		})
 	}
 	return writeJSONFile(filepath.Join(dir, "BENCH_backend.json"), out)

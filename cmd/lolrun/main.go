@@ -11,6 +11,9 @@
 // the operation counters and per-PE simulated time after the run.
 // -timeout bounds the run's wall clock and -max-steps bounds each PE's
 // step count, the same budgets cmd/lolserv enforces on every job.
+// -dump-bytecode prints the vm backend's bytecode listing (after
+// superinstruction fusion, with per-instruction step weights) and exits
+// without running the program.
 //
 // Exit codes: 0 on success, 1 when the program fails to parse, dies at
 // runtime, or exceeds a budget; 2 on usage errors.
@@ -29,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/shmem"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -50,6 +54,7 @@ func run(args []string) int {
 	dissem := fs.Bool("dissemination-barrier", false, "use the dissemination barrier instead of the central one")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
 	maxSteps := fs.Int64("max-steps", 0, "per-PE step budget (0 = unlimited)")
+	dumpBytecode := fs.Bool("dump-bytecode", false, "print the vm backend's bytecode (after superinstruction fusion) and exit without running")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: lolrun [flags] code.lol\n")
 		fs.PrintDefaults()
@@ -89,6 +94,16 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	if *dumpBytecode {
+		vp, err := prog.Bytecode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Print(vm.Disassemble(vp))
+		return 0
 	}
 
 	ctx := context.Background()

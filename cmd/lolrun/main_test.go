@@ -130,6 +130,35 @@ func TestLolrunMaxStepsKillsInfiniteLoop(t *testing.T) {
 	}
 }
 
+// TestLolrunDumpBytecode checks -dump-bytecode prints the fused listing
+// (chunk header, fused superinstructions with step weights) and exits 0
+// without running the program.
+func TestLolrunDumpBytecode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain test")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loop.lol")
+	// The marker only exists at runtime (the listing shows the operands 40
+	// and 2, never the sum), so its absence proves the program did not run.
+	src := "HAI 1.2\nI HAS A x ITZ 0\nIM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10\n  x R SUM OF x AN i\nIM OUTTA YR l\nVISIBLE SUM OF 40 AN 2\nKTHXBYE\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, err := runCLI(t, "./cmd/lolrun", "-dump-bytecode", path)
+	if err != nil {
+		t.Fatalf("lolrun -dump-bytecode failed: %v\n%s", err, stderr)
+	}
+	if strings.Contains(stdout, "42") {
+		t.Errorf("-dump-bytecode executed the program:\n%s", stdout)
+	}
+	for _, needle := range []string{"== main", "fuse.", "; w="} {
+		if !strings.Contains(stdout, needle) {
+			t.Errorf("listing missing %q:\n%s", needle, stdout)
+		}
+	}
+}
+
 func TestLolrunRejectsBadFlags(t *testing.T) {
 	if testing.Short() {
 		t.Skip("toolchain test")

@@ -71,13 +71,31 @@ func (m *Meter) Step() error {
 	if m.credit--; m.credit > 0 {
 		return nil
 	}
-	return m.syncSlow()
+	return m.syncSlow(1)
+}
+
+// StepN accounts n engine steps at once. The VM uses it for fused
+// superinstructions, which carry the static step weight of the sequence
+// they replaced: a budget of N still permits exactly N pre-fusion steps,
+// because the kill condition (used+n > limit) is identical whether the n
+// steps are attempted one at a time or as a block. The only observable
+// difference is where inside the block the kill is reported — a killed
+// fused instruction reports the whole block unexecuted, where the
+// unfused sequence may have executed a prefix before dying.
+func (m *Meter) StepN(n int64) error {
+	if m.credit -= n; m.credit > 0 {
+		return nil
+	}
+	return m.syncSlow(n)
 }
 
 // syncSlow settles the consumed credit, checks the context and the budget,
-// and issues the next credit.
-func (m *Meter) syncSlow() error {
-	m.used += m.grant
+// and issues the next credit. n is the size of the step attempt that
+// triggered the sync; with weighted steps the credit can be overdrawn by
+// up to n-1, so the settled amount is grant minus the (non-positive)
+// remaining credit.
+func (m *Meter) syncSlow(n int64) error {
+	m.used += m.grant - m.credit
 	if m.done != nil {
 		select {
 		case <-m.done:
@@ -85,10 +103,10 @@ func (m *Meter) syncSlow() error {
 		default:
 		}
 	}
-	// m.used counts the step that triggered this sync, which has not
+	// m.used counts the attempt that triggered this sync, which has not
 	// executed; strictly-greater means exactly limit steps are allowed.
 	if m.limit > 0 && m.used > m.limit {
-		return fmt.Errorf("%w: PE ran %d steps (limit %d)", ErrStepBudget, m.used-1, m.limit)
+		return fmt.Errorf("%w: PE ran %d steps (limit %d)", ErrStepBudget, m.used-n, m.limit)
 	}
 	m.grant = m.nextGrant()
 	m.credit = m.grant

@@ -145,3 +145,47 @@ func TestStepBudgetRoomToFinish(t *testing.T) {
 		}
 	}
 }
+
+// TestMeterStepNBoundary pins the weighted fencepost the VM's fused
+// superinstructions rely on: StepN(w) must behave exactly like w
+// consecutive Steps, so a budget of N permits exactly N pre-fusion steps
+// regardless of how they are grouped into weighted blocks.
+func TestMeterStepNBoundary(t *testing.T) {
+	for _, limit := range []int64{1, 2, 3, 4, 7, 1023, 1024, 1025, 5000} {
+		for _, w := range []int64{2, 3, 4} {
+			m := backend.NewMeter(&backend.Config{StepBudget: limit})
+			used := int64(0)
+			for used+w <= limit {
+				if err := m.StepN(w); err != nil {
+					t.Fatalf("limit %d w %d: StepN at used=%d failed early: %v", limit, w, used, err)
+				}
+				used += w
+			}
+			// The next weighted attempt overdraws (used+w > limit) and must
+			// die, exactly as the w-th unfused Step would.
+			if err := m.StepN(w); !errors.Is(err, backend.ErrStepBudget) {
+				t.Errorf("limit %d w %d: overdraw error = %v, want ErrStepBudget", limit, w, err)
+			}
+		}
+	}
+}
+
+// TestMeterStepNMixed interleaves plain and weighted steps across a grant
+// boundary.
+func TestMeterStepNMixed(t *testing.T) {
+	m := backend.NewMeter(&backend.Config{StepBudget: 10})
+	for i := 0; i < 3; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := m.StepN(4); err != nil { // 7 used
+		t.Fatalf("StepN(4): %v", err)
+	}
+	if err := m.StepN(3); err != nil { // 10 used: exactly the budget
+		t.Fatalf("StepN(3): %v", err)
+	}
+	if err := m.StepN(2); !errors.Is(err, backend.ErrStepBudget) {
+		t.Errorf("StepN past budget = %v, want ErrStepBudget", err)
+	}
+}

@@ -28,7 +28,7 @@ func TestProgenDifferentialNP(t *testing.T) {
 	if len(engines) < 3 {
 		t.Fatalf("expected at least 3 registered engines, got %v", backend.Names())
 	}
-	seeds, stmts := 60, 12
+	seeds, stmts := 90, 12
 	if testing.Short() {
 		seeds = 10
 	}

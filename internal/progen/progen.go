@@ -97,7 +97,7 @@ func (g *Gen) idxExpr() string {
 
 // Stmt emits one random statement with nesting bounded by depth.
 func (g *Gen) Stmt(depth int) {
-	switch g.rng.Intn(8) {
+	switch g.rng.Intn(10) {
 	case 0, 1:
 		g.w("%s R %s", g.vars[g.rng.Intn(len(g.vars))], g.NumExpr(2))
 	case 6:
@@ -140,6 +140,33 @@ func (g *Gen) Stmt(depth int) {
 		g.Stmt(depth - 1)
 		g.ind--
 		g.w("IM OUTTA YR %s", label)
+	case 8:
+		// Loop-head shapes the VM's fusion pass targets: a slot-slot
+		// compare against a fresh never-reassigned bound variable, or a
+		// WILE comparison head. The counter only grows and the bound is
+		// constant for the loop's lifetime, so both stay total.
+		if depth <= 0 {
+			g.w("VISIBLE %s", g.NumExpr(1))
+			return
+		}
+		label := fmt.Sprintf("l%d", g.rng.Int31())
+		ctr := fmt.Sprintf("i%d", g.rng.Int31())
+		if g.rng.Intn(2) == 0 {
+			bound := fmt.Sprintf("b%d", g.rng.Int31())
+			g.w("I HAS A %s ITZ %d", bound, g.rng.Intn(4)+1)
+			g.w("IM IN YR %s UPPIN YR %s TIL BOTH SAEM %s AN %s", label, ctr, ctr, bound)
+		} else {
+			g.w("IM IN YR %s UPPIN YR %s WILE SMALLR %s AN %d", label, ctr, ctr, g.rng.Intn(4)+1)
+		}
+		g.ind++
+		g.Stmt(depth - 1)
+		g.ind--
+		g.w("IM OUTTA YR %s", label)
+	case 9:
+		// Array-element arithmetic (read-modify-write of one element),
+		// the OpLoadElemSlot+OpBinary fused shape.
+		idx := g.idxExpr()
+		g.w("arr'Z %s R SUM OF arr'Z %s AN %s", idx, idx, g.NumExpr(1))
 	default:
 		g.w("VISIBLE SMOOSH \"v=\" AN %s MKAY", g.NumExpr(1))
 	}

@@ -40,6 +40,11 @@ func (op BinOp) String() string {
 	return fmt.Sprintf("BinOp(%d)", int(op))
 }
 
+// Arith reports whether op dispatches through the numeric-coercion path
+// of Binary (SUM OF … SMALLR). The equality and logical operators compare
+// or coerce to TROOF without requiring numeric operands.
+func (op BinOp) Arith() bool { return op >= OpSum && op <= OpSmallr }
+
 // UnOp enumerates the unary operators (NOT plus the paper's Table III math).
 type UnOp int
 
@@ -171,6 +176,55 @@ func RawFlip(f float64) (float64, error) {
 		return 0, fmt.Errorf("FLIP OF: division by zero")
 	}
 	return 1 / f, nil
+}
+
+// BinaryNumbr applies an Arith op to two raw NUMBR payloads, skipping the
+// operand coercion (and operand boxing) of Binary. For NUMBR operands the
+// result and error behaviour are identical to Binary's — the bytecode
+// VM's unboxed fast path and Binary's own dispatch share this body, so a
+// fused superinstruction cannot drift from the generic semantics.
+func BinaryNumbr(op BinOp, a, b int64) (Value, error) { return binaryNumbr(op, a, b) }
+
+// BinaryNumbar is BinaryNumbr for raw NUMBAR payloads. It is also the
+// mixed NUMBR/NUMBAR path: Binary resolves mixed numeric operands by
+// widening the NUMBR side to float64, exactly as a caller of this helper
+// does.
+func BinaryNumbar(op BinOp, a, b float64) (Value, error) { return binaryNumbar(op, a, b) }
+
+// RawCmpNumbr evaluates a comparison op on raw NUMBR payloads without
+// boxing a TROOF result. ok is false when op is not one of the four
+// comparison operators (BIGGER, SMALLR, BOTH SAEM, DIFFRINT); the caller
+// falls back to the generic dispatch. The BOTH SAEM/DIFFRINT results
+// match Equal's same-kind NUMBR case.
+func RawCmpNumbr(op BinOp, a, b int64) (res, ok bool) {
+	switch op {
+	case OpBigger:
+		return a > b, true
+	case OpSmallr:
+		return a < b, true
+	case OpBothSaem:
+		return a == b, true
+	case OpDiffrint:
+		return a != b, true
+	}
+	return false, false
+}
+
+// RawCmpNumbar is RawCmpNumbr on raw NUMBAR payloads; it also serves the
+// mixed NUMBR/NUMBAR comparison, which both Binary and Equal resolve by
+// widening the NUMBR side to float64.
+func RawCmpNumbar(op BinOp, a, b float64) (res, ok bool) {
+	switch op {
+	case OpBigger:
+		return a > b, true
+	case OpSmallr:
+		return a < b, true
+	case OpBothSaem:
+		return a == b, true
+	case OpDiffrint:
+		return a != b, true
+	}
+	return false, false
 }
 
 func binaryNumbr(op BinOp, a, b int64) (Value, error) {

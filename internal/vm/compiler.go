@@ -8,12 +8,29 @@ import (
 	"repro/internal/value"
 )
 
+// Options tune compilation. The zero value is the production
+// configuration.
+type Options struct {
+	// DisableFusion skips the superinstruction peephole pass (fuse.go),
+	// leaving the compiler's raw instruction stream. Used by the budget
+	// invariant and differential tests to compare fused vs. unfused
+	// execution; production callers should never need it.
+	DisableFusion bool
+}
+
 // Compile lowers a checked program to bytecode: one chunk for the main
 // program and one per HOW IZ I function. All symbol resolution uses the
 // slot addresses sema attached to the AST, so the emitted code addresses
 // variables by frame slot and symmetric-heap index only — the only
 // name-keyed lookups left are the ones the language makes dynamic (SRS).
+// After each chunk is sealed, the superinstruction pass (fuse.go) rewrites
+// the hot fixed shapes into fused opcodes.
 func Compile(info *sema.Info) (*Program, error) {
+	return CompileOpts(info, Options{})
+}
+
+// CompileOpts is Compile with explicit Options.
+func CompileOpts(info *sema.Info, opts Options) (*Program, error) {
 	p := &Program{
 		info:    info,
 		funcIdx: make(map[string]int, len(info.Funcs)),
@@ -43,6 +60,9 @@ func Compile(info *sema.Info) (*Program, error) {
 		}
 		c.emit(Instr{Op: OpReturnIT, Pos: fd.Position})
 		c.sealConsts()
+		if !opts.DisableFusion {
+			fuseChunk(c.chunk)
+		}
 	}
 	p.Main = &Chunk{Name: "main", NSlots: len(info.Main.Order), Scope: info.Main}
 	c := &compiler{info: info, prog: p, chunk: p.Main, scope: info.Main}
@@ -51,6 +71,9 @@ func Compile(info *sema.Info) (*Program, error) {
 	}
 	c.emit(Instr{Op: OpHalt, Pos: info.Prog.HaiPos})
 	c.sealConsts()
+	if !opts.DisableFusion {
+		fuseChunk(p.Main)
+	}
 	return p, nil
 }
 

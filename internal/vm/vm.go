@@ -2,10 +2,17 @@
 // sema-resolved variable slots, sitting between the tree-walking
 // interpreter and the closure compiler in the classic design space the
 // paper's compiler-vs-interpreter argument spans. The bytecode compiler
-// resolves symbols, operator dispatch and jump targets once; the VM then
-// runs one instruction loop per PE over the shmem SPMD runtime, so the
-// per-statement cost is a switch on an opcode instead of an AST type
-// switch.
+// resolves symbols, operator dispatch and jump targets once; a peephole
+// pass (fuse.go) then collapses the hot compiler-emitted shapes — loop
+// heads, read-modify-write statements, increment-jump back-edges — into
+// fused superinstructions, each carrying the step weight of the sequence
+// it replaced so budget metering is unchanged. The VM runs one
+// instruction loop per PE over the shmem SPMD runtime with the frame's
+// code, constants, slots and instruction pointer cached in locals, and
+// arithmetic takes unboxed fast paths on NUMBR/NUMBAR operands, so the
+// per-statement cost approaches a single switch dispatch instead of an
+// AST type switch. Disassemble (or `lolrun -dump-bytecode`) renders the
+// fused form.
 package vm
 
 import (
@@ -68,6 +75,7 @@ func (p *Program) RunWorld(cfg backend.Config, world *shmem.World) (*backend.Res
 			out:   io.Out,
 			errw:  io.Err,
 			stdin: io.Stdin,
+			stack: make([]value.Value, 0, 64),
 			meter: backend.NewMeter(&cfg),
 		}
 		return r.run()
@@ -111,7 +119,9 @@ type runner struct {
 	pred   []int // TXT MAH BFF predication stack of target PE ids
 
 	// meter enforces the run's deadline and step budget; one VM step is
-	// one executed instruction.
+	// one pre-fusion instruction: plain instructions meter 1, fused
+	// superinstructions meter the static weight of the sequence they
+	// replaced, so fusion never changes how many steps a budget buys.
 	meter backend.Meter
 }
 
@@ -150,54 +160,225 @@ func (r *runner) target(in *Instr) (pe int, remote bool, err error) {
 }
 
 // run executes the main chunk to completion.
+//
+// The inner loop keeps the dispatch state — code, constant pool, slot
+// array and instruction pointer — in locals rather than reaching through
+// the frame on every instruction; the frame is synchronized only at call
+// and return boundaries. Combined with the fused superinstructions (which
+// read their operands straight from immediates instead of the value
+// stack) this is what closes most of the gap to the closure compiler on
+// arithmetic-heavy loops.
 func (r *runner) run() error {
 	r.frames = append(r.frames, frame{
 		chunk: r.prog.Main,
 		slots: make([]value.Value, r.prog.Main.NSlots),
 	})
 	fr := &r.frames[0]
+	code := fr.chunk.Code
+	consts := fr.chunk.Consts
+	slots := fr.slots
+	ip := 0
 	for {
-		in := &fr.chunk.Code[fr.ip]
-		fr.ip++
-		if err := r.meter.Step(); err != nil {
+		in := &code[ip]
+		ip++
+		if err := r.meter.StepN(opWeights[in.Op]); err != nil {
 			return rerr(in.Pos, err)
 		}
 		switch in.Op {
 		case OpNop:
 
 		case OpConst:
-			r.push(fr.chunk.Consts[in.A])
+			r.push(consts[in.A])
+		case OpLoadSlot:
+			r.push(slots[in.A])
+		case OpStoreSlot:
+			slots[in.A] = r.pop()
+		case OpIncSlot:
+			if v := slots[in.A]; v.Kind() == value.Numbr {
+				slots[in.A] = value.NewNumbr(v.Numbr() + int64(in.B))
+			} else {
+				cur, err := v.ToNumbr()
+				if err != nil {
+					return rerr(in.Pos, fmt.Errorf("loop variable %s: %w", in.S, err))
+				}
+				slots[in.A] = value.NewNumbr(cur + int64(in.B))
+			}
+		case OpBinary:
+			y, x := r.pop(), r.pop()
+			v, err := binFast(value.BinOp(in.A), x, y)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpJump:
+			ip = in.A
+		case OpJumpFalse:
+			if !r.pop().ToTroof() {
+				ip = in.A
+			}
+		case OpJumpTrue:
+			if r.pop().ToTroof() {
+				ip = in.A
+			}
+
+		case OpFusedConstBinary:
+			t := len(r.stack) - 1
+			v, err := binFast(value.BinOp(in.B), r.stack[t], consts[in.A])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.stack[t] = v
+		case OpFusedSlotBinary:
+			t := len(r.stack) - 1
+			v, err := binFast(value.BinOp(in.B), r.stack[t], slots[in.A])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.stack[t] = v
+		case OpFusedSlotConstBinary:
+			v, err := binFast(value.BinOp(in.B), slots[in.A], consts[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpFusedSlotSlotBinary:
+			v, err := binFast(value.BinOp(in.B), slots[in.A], slots[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.push(v)
+		case OpFusedElemSlotBinary:
+			i, err := r.popInt(in.Pos)
+			if err != nil {
+				return err
+			}
+			av := slots[in.A]
+			if av.Kind() != value.ArrayK {
+				return rerrf(in.Pos, "%s is not an array", in.S)
+			}
+			y, err := av.Array().GetChecked(i)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			t := len(r.stack) - 1
+			v, err := binFast(value.BinOp(in.B), r.stack[t], y)
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.stack[t] = v
+		case OpFusedBinaryStoreSlot:
+			t := len(r.stack) - 2
+			v, err := binFast(value.BinOp(in.B), r.stack[t], r.stack[t+1])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.stack = r.stack[:t]
+			slots[in.A] = v
+		case OpFusedBinaryStoreSlotCast:
+			t := len(r.stack) - 2
+			v, err := binFast(value.BinOp(in.B), r.stack[t], r.stack[t+1])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			r.stack = r.stack[:t]
+			if v.Kind() != value.Kind(in.C) {
+				cv, err := value.Cast(v, value.Kind(in.C))
+				if err != nil {
+					return rerr(in.Pos, fmt.Errorf("assigning to SRSLY %s %s: %w", value.Kind(in.C), in.S, err))
+				}
+				v = cv
+			}
+			slots[in.A] = v
+		case OpFusedSlotJump:
+			if slots[in.A].ToTroof() == (in.B&fuseJumpOnTrue != 0) {
+				ip = in.D
+			}
+		case OpFusedSlotConstCmpJump:
+			res, err := truthyBin(value.BinOp(in.B&fuseOpMask), slots[in.A], consts[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			if res == (in.B&fuseJumpOnTrue != 0) {
+				ip = in.D
+			}
+		case OpFusedSlotSlotCmpJump:
+			res, err := truthyBin(value.BinOp(in.B&fuseOpMask), slots[in.A], slots[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			if res == (in.B&fuseJumpOnTrue != 0) {
+				ip = in.D
+			}
+		case OpFusedSlotConstBinaryStore:
+			v, err := binFast(value.BinOp(in.B), slots[in.A], consts[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			slots[in.D] = v
+		case OpFusedSlotConstBinaryStoreCast:
+			v, err := binFast(value.BinOp(in.B&fuseOpMask), slots[in.A], consts[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			if k := value.Kind(in.B >> fuseKindShift); v.Kind() != k {
+				cv, err := value.Cast(v, k)
+				if err != nil {
+					return rerr(in.Pos, fmt.Errorf("assigning to SRSLY %s %s: %w", k, in.S, err))
+				}
+				v = cv
+			}
+			slots[in.D] = v
+		case OpFusedSlotSlotBinaryStore:
+			v, err := binFast(value.BinOp(in.B), slots[in.A], slots[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			slots[in.D] = v
+		case OpFusedSlotSlotBinaryStoreCast:
+			v, err := binFast(value.BinOp(in.B&fuseOpMask), slots[in.A], slots[in.C])
+			if err != nil {
+				return rerr(in.Pos, err)
+			}
+			if k := value.Kind(in.B >> fuseKindShift); v.Kind() != k {
+				cv, err := value.Cast(v, k)
+				if err != nil {
+					return rerr(in.Pos, fmt.Errorf("assigning to SRSLY %s %s: %w", k, in.S, err))
+				}
+				v = cv
+			}
+			slots[in.D] = v
+		case OpFusedIncSlotJump:
+			if v := slots[in.A]; v.Kind() == value.Numbr {
+				slots[in.A] = value.NewNumbr(v.Numbr() + int64(in.B))
+			} else {
+				cur, err := v.ToNumbr()
+				if err != nil {
+					return rerr(in.Pos, fmt.Errorf("loop variable %s: %w", in.S, err))
+				}
+				slots[in.A] = value.NewNumbr(cur + int64(in.B))
+			}
+			ip = in.D
+
 		case OpPop:
 			r.stack = r.stack[:len(r.stack)-1]
 		case OpDup:
 			r.push(r.stack[len(r.stack)-1])
-
-		case OpLoadSlot:
-			r.push(fr.slots[in.A])
-		case OpStoreSlot:
-			fr.slots[in.A] = r.pop()
 		case OpStoreSlotCast:
 			cv, err := value.Cast(r.pop(), value.Kind(in.B))
 			if err != nil {
 				return rerr(in.Pos, fmt.Errorf("assigning to SRSLY %s %s: %w", value.Kind(in.B), in.S, err))
 			}
-			fr.slots[in.A] = cv
+			slots[in.A] = cv
 		case OpStoreSlotArr:
 			v := r.pop()
-			if cur := fr.slots[in.A]; v.Kind() == value.ArrayK && cur.Kind() == value.ArrayK {
+			if cur := slots[in.A]; v.Kind() == value.ArrayK && cur.Kind() == value.ArrayK {
 				// Whole-array assignment copies contents (value semantics).
 				if err := cur.Array().CopyFrom(v.Array()); err != nil {
 					return rerr(in.Pos, err)
 				}
 			} else {
-				fr.slots[in.A] = v
+				slots[in.A] = v
 			}
-		case OpIncSlot:
-			cur, err := fr.slots[in.A].ToNumbr()
-			if err != nil {
-				return rerr(in.Pos, fmt.Errorf("loop variable %s: %w", in.S, err))
-			}
-			fr.slots[in.A] = value.NewNumbr(cur + int64(in.B))
 
 		case OpLoadHeap:
 			if in.B&flagRemote != 0 {
@@ -290,7 +471,7 @@ func (r *runner) run() error {
 			if err != nil {
 				return err
 			}
-			av := fr.slots[in.A]
+			av := slots[in.A]
 			if av.Kind() != value.ArrayK {
 				return rerrf(in.Pos, "%s is not an array", in.S)
 			}
@@ -305,7 +486,7 @@ func (r *runner) run() error {
 				return err
 			}
 			v := r.pop()
-			av := fr.slots[in.A]
+			av := slots[in.A]
 			if av.Kind() != value.ArrayK {
 				return rerrf(in.Pos, "%s is not an array", in.S)
 			}
@@ -321,7 +502,7 @@ func (r *runner) run() error {
 			if err != nil {
 				return rerr(in.Pos, err)
 			}
-			fr.slots[in.A] = value.NewArray(arr)
+			slots[in.A] = value.NewArray(arr)
 		case OpDeclArrHeap:
 			size, err := r.popSize(in)
 			if err != nil {
@@ -335,19 +516,13 @@ func (r *runner) run() error {
 				return rerr(in.Pos, err)
 			}
 
-		case OpBinary:
-			y, x := r.pop(), r.pop()
-			v, err := value.Binary(value.BinOp(in.A), x, y)
-			if err != nil {
-				return rerr(in.Pos, err)
-			}
-			r.push(v)
 		case OpUnary:
-			v, err := value.Unary(value.UnOp(in.A), r.pop())
+			t := len(r.stack) - 1
+			v, err := unFast(value.UnOp(in.A), r.stack[t])
 			if err != nil {
 				return rerr(in.Pos, err)
 			}
-			r.push(v)
+			r.stack[t] = v
 		case OpCast:
 			v, err := value.Cast(r.pop(), value.Kind(in.A))
 			if err != nil {
@@ -377,23 +552,13 @@ func (r *runner) run() error {
 			}
 			r.push(v)
 
-		case OpJump:
-			fr.ip = in.A
-		case OpJumpFalse:
-			if !r.pop().ToTroof() {
-				fr.ip = in.A
-			}
-		case OpJumpTrue:
-			if r.pop().ToTroof() {
-				fr.ip = in.A
-			}
 		case OpJumpFalseKeep:
 			if !r.stack[len(r.stack)-1].ToTroof() {
-				fr.ip = in.A
+				ip = in.A
 			}
 		case OpJumpTrueKeep:
 			if r.stack[len(r.stack)-1].ToTroof() {
-				fr.ip = in.A
+				ip = in.A
 			}
 
 		case OpVisible:
@@ -423,13 +588,13 @@ func (r *runner) run() error {
 			if err := r.pe.SetLock(in.A); err != nil {
 				return rerr(in.Pos, err)
 			}
-			fr.slots[0] = value.NewTroof(true) // IT
+			slots[0] = value.NewTroof(true) // IT
 		case OpLockTry:
 			ok, err := r.pe.TestLock(in.A)
 			if err != nil {
 				return rerr(in.Pos, err)
 			}
-			fr.slots[0] = value.NewTroof(ok) // IT
+			slots[0] = value.NewTroof(ok) // IT
 		case OpLockRelease:
 			if err := r.pe.ClearLock(in.A); err != nil {
 				return rerr(in.Pos, err)
@@ -480,22 +645,27 @@ func (r *runner) run() error {
 				return rerrf(in.Pos, "I IZ %s: call depth exceeds %d (runaway recursion?)", in.S, maxCallDepth)
 			}
 			cf := r.prog.Funcs[in.A]
-			slots := make([]value.Value, cf.NSlots)
+			fslots := make([]value.Value, cf.NSlots)
 			// Slot 0 is IT; parameters follow in declaration order.
-			copy(slots[1:1+in.B], r.stack[len(r.stack)-in.B:])
+			copy(fslots[1:1+in.B], r.stack[len(r.stack)-in.B:])
 			r.stack = r.stack[:len(r.stack)-in.B]
+			// Sync the caller's ip before append may move the frame array.
+			fr.ip = ip
 			r.frames = append(r.frames, frame{
 				chunk:     cf,
-				slots:     slots,
+				slots:     fslots,
 				stackBase: len(r.stack),
 				predBase:  len(r.pred),
 			})
 			fr = &r.frames[len(r.frames)-1]
+			code, consts, slots, ip = fr.chunk.Code, fr.chunk.Consts, fr.slots, 0
 		case OpReturn:
 			v := r.pop()
 			fr = r.unwind(v)
+			code, consts, slots, ip = fr.chunk.Code, fr.chunk.Consts, fr.slots, fr.ip
 		case OpReturnIT:
-			fr = r.unwind(fr.slots[0])
+			fr = r.unwind(slots[0])
+			code, consts, slots, ip = fr.chunk.Code, fr.chunk.Consts, fr.slots, fr.ip
 
 		case OpHalt:
 			return nil
