@@ -8,6 +8,7 @@
 //	lolbench fig2 [-trials 20]             Figure 2: barrier determinism
 //	lolbench listingA|B|C|D [-np 4]        §VI example programs
 //	lolbench backends                      E1: interpreter vs compiler
+//	lolbench weakscale [-darts 200]        E4: worker-scheduler weak scaling
 //	lolbench scaling                       E2: Parallella -> XC40 scaling
 //	lolbench barriers                      T2 micro: HUGZ latency
 //	lolbench locks                         T2 micro: lock contention
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -43,6 +45,7 @@ func main() {
 	reqs := flag.Int("reqs", 50, "requests per client for the serve experiment")
 	workers := flag.Int("workers", 4, "server worker slots for the serve experiment")
 	scenario := flag.String("scenario", "mixed", "serve scenario: mixed (per-request load), zipf (hot-key batches, cache on vs off), or promote (native tier vs threshold 0)")
+	darts := flag.Int("darts", 200, "darts per PE for the weakscale experiment")
 	benchJSON := flag.String("bench-json", "", "directory to write BENCH_serve.json / BENCH_backend.json into (empty = don't)")
 	flag.Usage = usage
 	if len(os.Args) < 2 {
@@ -79,6 +82,11 @@ func main() {
 		var rows []experiments.BackendsResult
 		if rows, err = experiments.Backends(w); err == nil && *benchJSON != "" {
 			err = writeBenchBackend(*benchJSON, rows)
+		}
+	case "weakscale":
+		var rows []experiments.WeakscaleResult
+		if rows, err = experiments.Weakscale(w, []int{8, 256, 4096}, *darts); err == nil && *benchJSON != "" {
+			err = writeBenchWeakscale(*benchJSON, rows)
 		}
 	case "scaling":
 		_, err = experiments.Scaling(w, []int{1, 2, 4, 8, 16}, []int{32, 64, 128})
@@ -134,6 +142,7 @@ func runAll(w *os.File, dir string, np, trials int) error {
 			return sep(w, err)
 		},
 		func() error { _, err := experiments.Backends(w); return sep(w, err) },
+		func() error { _, err := experiments.Weakscale(w, []int{8, 256, 4096}, 200); return sep(w, err) },
 		func() error {
 			_, err := experiments.Scaling(w, []int{1, 2, 4, 8, 16}, []int{32, 64, 128})
 			return sep(w, err)
@@ -182,7 +191,7 @@ type benchBackendRow struct {
 }
 
 func writeBenchBackend(dir string, rows []experiments.BackendsResult) error {
-	out := make([]benchBackendRow, 0, len(rows))
+	out := make([]any, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, benchBackendRow{
 			Workload:      r.Workload,
@@ -193,7 +202,67 @@ func writeBenchBackend(dir string, rows []experiments.BackendsResult) error {
 			VMOverCompile: r.VMOverCompile(),
 		})
 	}
-	return writeJSONFile(filepath.Join(dir, "BENCH_backend.json"), out)
+	return mergeBenchBackendRows(dir, out, false)
+}
+
+// benchWeakscaleRow is the machine-readable form of one E4 weak-scaling
+// point. The workload key carries the "weakscale" prefix that separates
+// this family from the E1 rows in the shared BENCH_backend.json; the CI
+// gap check selects rows by vm_over_compile_ratio, which these rows
+// don't have, so the two families coexist in one artifact.
+type benchWeakscaleRow struct {
+	Workload   string  `json:"workload"`
+	NP         int     `json:"np"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	PEsPerSec  float64 `json:"pes_per_sec"`
+	SimMS      float64 `json:"sim_ms"`
+	Parks      int64   `json:"parks"`
+	MaxRunning int     `json:"max_running"`
+}
+
+func writeBenchWeakscale(dir string, rows []experiments.WeakscaleResult) error {
+	out := make([]any, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, benchWeakscaleRow{
+			Workload:   fmt.Sprintf("weakscale montecarlo np=%d", r.NP),
+			NP:         r.NP,
+			Workers:    r.Workers,
+			WallMS:     float64(r.Wall.Microseconds()) / 1000,
+			PEsPerSec:  r.PEsPerSec,
+			SimMS:      r.SimMS,
+			Parks:      r.Parks,
+			MaxRunning: r.MaxRunning,
+		})
+	}
+	return mergeBenchBackendRows(dir, out, true)
+}
+
+// mergeBenchBackendRows rewrites one family of BENCH_backend.json rows —
+// the E4 weak-scaling rows (workload prefix "weakscale") or the E1
+// backend rows (everything else) — while preserving the other family, so
+// `lolbench backends` and `lolbench weakscale` can each refresh the
+// shared committed baseline without clobbering the other's columns.
+func mergeBenchBackendRows(dir string, rows []any, weakscale bool) error {
+	path := filepath.Join(dir, "BENCH_backend.json")
+	var merged []any
+	if prev, err := os.ReadFile(path); err == nil {
+		var old []json.RawMessage
+		_ = json.Unmarshal(prev, &old) // a corrupt file is overwritten
+		for _, raw := range old {
+			var key struct {
+				Workload string `json:"workload"`
+			}
+			_ = json.Unmarshal(raw, &key)
+			if strings.HasPrefix(key.Workload, "weakscale") != weakscale {
+				// Kept verbatim (RawMessage), so rewriting one family never
+				// reformats the other's committed rows.
+				merged = append(merged, raw)
+			}
+		}
+	}
+	merged = append(merged, rows...)
+	return writeJSONFile(path, merged)
 }
 
 func writeJSONFile(path string, v any) error {
@@ -223,6 +292,8 @@ experiments:
   listingA listingB listingC listingD
                                 run the §VI example programs
   backends                      E1: interpreter vs compiled backend
+  weakscale                     E4: worker-scheduler weak scaling (vm tier,
+                                NP 8/256/4096 montecarlo, XC40 simulated time)
   scaling                       E2: weak scaling, Parallella and XC40 models
   barriers locks remote noc     T2 microbenchmarks + NoC traffic heatmap
   toolchain                     E3: lcc -> Go over testdata/

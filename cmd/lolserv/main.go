@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/faultinject"
 	"repro/internal/native"
 	"repro/internal/server"
@@ -62,6 +63,8 @@ func run() int {
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-job wall-clock budget")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "largest wall-clock budget a job may request")
 	maxSteps := flag.Int64("max-steps", 500_000_000, "largest per-PE step budget a job may request")
+	schedMode := flag.String("sched", "auto",
+		"default SPMD scheduler for jobs that don't set the request field: auto (worker pool at high NP on capable engines), goroutines, or workers")
 	nativeThreshold := flag.Int64("native-threshold", 0,
 		"program-cache hits before a program is promoted to a gogen-compiled binary (0 disables the native tier)")
 	nativeCacheDir := flag.String("native-cache-dir", "",
@@ -90,6 +93,11 @@ func run() int {
 	resultCacheSize := *resultCache
 	if resultCacheSize == 0 {
 		resultCacheSize = -1 // flag 0 = off; Options 0 = default
+	}
+	sched, err := backend.ParseSchedMode(*schedMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lolserv: %v\n", err)
+		return 2
 	}
 	// The native tier needs a go toolchain and a module checkout to build
 	// promoted binaries in; when either is missing the server warns and
@@ -130,6 +138,7 @@ func run() int {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		MaxStepBudget:   *maxSteps,
+		Sched:           sched,
 		NativeCache:     nativeCache,
 		NativeThreshold: *nativeThreshold,
 		NativeBuilds:    *nativeBuilds,

@@ -122,13 +122,63 @@ type PEIO struct {
 // paths. The returned error then satisfies errors.Is against the
 // context's error.
 func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) error) (*Result, error) {
-	out := NewOutput(cfg.Stdout, cfg.GroupOutput, cfg.NP, cfg.MaxOutput)
-	errw := NewOutput(cfg.Stderr, cfg.GroupOutput, cfg.NP, cfg.MaxOutput)
-	stdin := NewSharedReader(cfg.Stdin)
+	run := startSPMD(cfg, world)
+	defer run.stopWatcher()
+	err := world.Run(func(pe *shmem.PE) error {
+		if err := body(pe, run.ioFor(pe.ID())); err != nil {
+			return err
+		}
+		run.res.SimNanos[pe.ID()] = pe.SimNanos()
+		return nil
+	})
+	return run.finish(cfg, world, err)
+}
 
+// RunSPMDScheduled is RunSPMD for the worker-scheduler mode: instead of
+// a run-to-completion body, makeStep builds one resumable step function
+// per PE (see shmem.World.RunScheduled for the suspend/resume contract).
+// Output plumbing, context teardown, and Result assembly are shared with
+// RunSPMD, so the two modes can only diverge inside the engine's own
+// execution order — which the conformance differentials pin down.
+func RunSPMDScheduled(cfg Config, world *shmem.World, makeStep func(pe *shmem.PE, io PEIO) func() error) (*Result, error) {
+	run := startSPMD(cfg, world)
+	defer run.stopWatcher()
+	err := world.RunScheduled(cfg.SchedWorkers, func(pe *shmem.PE) func() error {
+		step := makeStep(pe, run.ioFor(pe.ID()))
+		return func() error {
+			err := step()
+			if err == nil {
+				run.res.SimNanos[pe.ID()] = pe.SimNanos()
+			}
+			return err
+		}
+	})
+	return run.finish(cfg, world, err)
+}
+
+// spmdRun is the plumbing shared by both execution modes: the grouped
+// output multiplexers, the shared stdin, the context watcher that fails
+// the world on cancellation, and the Result under assembly.
+type spmdRun struct {
+	out, errw *Output
+	stdin     *SharedReader
+	res       *Result
+	start     time.Time
+	stop      chan struct{}
+}
+
+func startSPMD(cfg Config, world *shmem.World) *spmdRun {
+	r := &spmdRun{
+		out:   NewOutput(cfg.Stdout, cfg.GroupOutput, cfg.NP, cfg.MaxOutput),
+		errw:  NewOutput(cfg.Stderr, cfg.GroupOutput, cfg.NP, cfg.MaxOutput),
+		stdin: NewSharedReader(cfg.Stdin),
+		res:   &Result{SimNanos: make([]float64, cfg.NP)},
+	}
 	if ctx := cfg.Context; ctx != nil {
+		// The goroutine captures the channel locally: it must not read the
+		// r.stop field, which stopWatcher overwrites from the caller.
 		stop := make(chan struct{})
-		defer close(stop)
+		r.stop = stop
 		go func() {
 			select {
 			case <-ctx.Done():
@@ -137,21 +187,26 @@ func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) er
 			}
 		}()
 	}
+	r.start = time.Now()
+	return r
+}
 
-	res := &Result{SimNanos: make([]float64, cfg.NP)}
-	execStart := time.Now()
-	err := world.Run(func(pe *shmem.PE) error {
-		io := PEIO{Out: out.ForPE(pe.ID()), Err: errw.ForPE(pe.ID()), Stdin: stdin}
-		if err := body(pe, io); err != nil {
-			return err
-		}
-		res.SimNanos[pe.ID()] = pe.SimNanos()
-		return nil
-	})
-	execWall := time.Since(execStart)
-	out.Flush()
-	errw.Flush()
-	truncated := out.Truncated() || errw.Truncated()
+func (r *spmdRun) ioFor(pe int) PEIO {
+	return PEIO{Out: r.out.ForPE(pe), Err: r.errw.ForPE(pe), Stdin: r.stdin}
+}
+
+func (r *spmdRun) stopWatcher() {
+	if r.stop != nil {
+		close(r.stop)
+		r.stop = nil
+	}
+}
+
+func (r *spmdRun) finish(cfg Config, world *shmem.World, err error) (*Result, error) {
+	execWall := time.Since(r.start)
+	r.out.Flush()
+	r.errw.Flush()
+	truncated := r.out.Truncated() || r.errw.Truncated()
 	if err != nil {
 		// Blocked PEs report the generic world failure; when the teardown
 		// was actually caused by the context (the watcher's Fail), surface
@@ -165,12 +220,14 @@ func RunSPMD(cfg Config, world *shmem.World, body func(pe *shmem.PE, io PEIO) er
 			}
 		}
 		// The Result still carries output metadata (the launcher shows the
-		// partial output it captured); callers must treat a run with a
-		// non-nil error as failed regardless.
-		return &Result{OutputTruncated: truncated, ExecWall: execWall}, err
+		// partial output it captured) and the post-teardown runtime stats
+		// (every PE has joined by now, so the snapshot is quiescent — the
+		// kill tests assert the scheduler gauges drained to zero); callers
+		// must treat a run with a non-nil error as failed regardless.
+		return &Result{Stats: world.Stats(), OutputTruncated: truncated, ExecWall: execWall}, err
 	}
-	res.Stats = world.Stats()
-	res.OutputTruncated = truncated
-	res.ExecWall = execWall
-	return res, nil
+	r.res.Stats = world.Stats()
+	r.res.OutputTruncated = truncated
+	r.res.ExecWall = execWall
+	return r.res, nil
 }

@@ -10,6 +10,50 @@ import (
 	"repro/internal/token"
 )
 
+// SchedMode selects how PEs are executed: a dedicated goroutine per PE
+// (the classic mode, and the differential oracle) or continuations
+// multiplexed onto a bounded worker pool by the shmem scheduler. Only
+// engines with resumable execution state honor SchedWorkers — today the
+// VM; interp and compile silently run goroutine-per-PE.
+type SchedMode int
+
+const (
+	// SchedAuto picks workers on capable engines when NP is large enough
+	// (>= SchedAutoNP) that goroutine-per-PE economics start to hurt.
+	SchedAuto SchedMode = iota
+	// SchedGoroutines forces one goroutine per PE.
+	SchedGoroutines
+	// SchedWorkers forces the bounded worker pool on capable engines.
+	SchedWorkers
+)
+
+// SchedAutoNP is the world size at which SchedAuto switches a capable
+// engine to the worker pool.
+const SchedAutoNP = 64
+
+func (m SchedMode) String() string {
+	switch m {
+	case SchedGoroutines:
+		return "goroutines"
+	case SchedWorkers:
+		return "workers"
+	}
+	return "auto"
+}
+
+// ParseSchedMode parses a -sched flag or request field value.
+func ParseSchedMode(s string) (SchedMode, error) {
+	switch s {
+	case "", "auto":
+		return SchedAuto, nil
+	case "goroutines":
+		return SchedGoroutines, nil
+	case "workers":
+		return SchedWorkers, nil
+	}
+	return SchedAuto, fmt.Errorf("backend: unknown sched mode %q (want auto, goroutines, or workers)", s)
+}
+
 // Config controls one SPMD execution. It is shared verbatim by every
 // engine, so a run is reproducible across backends: same NP, same seeds,
 // same cost model, same output discipline.
@@ -47,6 +91,26 @@ type Config struct {
 	// INVISIBLE) output retained or forwarded; 0 means unlimited. Overflow
 	// is dropped, not fatal, and reported via Result.OutputTruncated.
 	MaxOutput int
+	// Sched selects goroutine-per-PE or worker-pool execution; engines
+	// without resumable state ignore it. Output is byte-identical across
+	// modes (the conformance differentials enforce this), so SchedAuto is
+	// safe as a default.
+	Sched SchedMode
+	// SchedWorkers overrides the worker-pool size in workers mode;
+	// 0 selects shmem.DefaultSchedWorkers (min(2*GOMAXPROCS, NP)).
+	SchedWorkers int
+}
+
+// UseWorkers reports whether this config selects the worker scheduler
+// for a capable engine at world size np.
+func (c *Config) UseWorkers(np int) bool {
+	switch c.Sched {
+	case SchedWorkers:
+		return true
+	case SchedGoroutines:
+		return false
+	}
+	return np >= SchedAutoNP
 }
 
 // Result reports what a run did.

@@ -113,5 +113,15 @@ func (m *Meter) syncSlow(n int64) error {
 	return nil
 }
 
+// Refund returns n steps of credit. The VM calls it when an instruction
+// suspends instead of executing: the instruction was charged before
+// dispatch and will be charged again when the resumed frame re-executes
+// it, so without the refund every park would bill one phantom step and
+// worker mode would kill budgeted programs earlier than goroutine mode.
+// If the original charge crossed a sync (settling `used`), the refunded
+// credit exactly absorbs the re-charge, so `used` still counts the
+// instruction once — metering stays mode-independent.
+func (m *Meter) Refund(n int64) { m.credit += n }
+
 // Used reports the steps accounted so far (within one interval of exact).
 func (m *Meter) Used() int64 { return m.used + (m.grant - m.credit) }

@@ -29,7 +29,13 @@ type Row struct {
 // Run executes the row's program on the given execution engine and checks
 // output. Engines come from the backend registry (importing core registers
 // all of them); see Engines.
-func (r Row) Run(eng backend.Backend) error {
+func (r Row) Run(eng backend.Backend) error { return r.RunWith(eng, nil) }
+
+// RunWith is Run with a config hook: mutate (when non-nil) edits the
+// row's standard config before the run, which is how the scheduler
+// differential forces Sched=workers while keeping the row's own NP,
+// seed, and grouped-output contract.
+func (r Row) RunWith(eng backend.Backend, mutate func(*backend.Config)) error {
 	np := r.NP
 	if np == 0 {
 		np = 1
@@ -39,13 +45,17 @@ func (r Row) Run(eng backend.Backend) error {
 		return fmt.Errorf("parse: %w", err)
 	}
 	var out strings.Builder
-	_, err = eng.Run(prog.Info, backend.Config{
+	cfg := backend.Config{
 		NP:          np,
 		Seed:        2017,
 		Stdout:      &out,
 		Stdin:       strings.NewReader(r.Stdin),
 		GroupOutput: true,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	_, err = eng.Run(prog.Info, cfg)
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
@@ -62,12 +72,14 @@ func (r Row) Run(eng backend.Backend) error {
 // corpus is the engines × rows matrix.
 func Engines() []backend.Backend { return backend.All() }
 
-// All returns every conformance row, Tables I through III in paper order.
+// All returns every conformance row: Tables I through III in paper
+// order, then the Savina-style concurrency corpus (Table S).
 func All() []Row {
 	var rows []Row
 	rows = append(rows, TableI()...)
 	rows = append(rows, TableII()...)
 	rows = append(rows, TableIII()...)
+	rows = append(rows, Savina()...)
 	return rows
 }
 

@@ -1,0 +1,204 @@
+package conformance
+
+// savina.go encodes the Savina-style concurrency micro-suite (Table S) —
+// classic actor-benchmark shapes recast onto the PGAS primitives: message
+// ping-pong over one-sided put, a barrier storm, lock-serialized counting,
+// and a dining-philosophers trylock loop. Unlike Tables I-III these rows
+// exist to stress the runtime's blocking points (HUGZ, IM SRSLY MESIN WIF,
+// IM MESIN WIF) rather than the language surface, so they are the corpus
+// the worker-scheduler differential leans on hardest.
+//
+// The row sources are inlined so cmd/lolbench can regenerate the table
+// without repo-file access; TestSavinaSourcesMatchTestdata pins each one
+// byte-for-byte to its twin under testdata/savina/, which is what
+// cmd/lolrun users actually run.
+
+// Savina returns the Table S concurrency rows.
+func Savina() []Row {
+	return []Row{
+		{
+			Table: "S", Construct: "savina: ping-pong",
+			Meaning: "two PEs volley a counter via one-sided put, HUGZ as the return net",
+			NP:      2,
+			Source:  savinaPingPong,
+			Want:    "PE 0 BALL 8\nPE 1 BALL 7\n",
+		},
+		{
+			Table: "S", Construct: "savina: barrier storm",
+			Meaning: "12 back-to-back HUGZ episodes across 8 PEs with peer-stamp audits",
+			NP:      8,
+			Source:  savinaBarrierStorm,
+			Want:    "STORM OK\nSTORM OK\nSTORM OK\nSTORM OK\nSTORM OK\nSTORM OK\nSTORM OK\nSTORM OK\n",
+		},
+		{
+			Table: "S", Construct: "savina: counting",
+			Meaning: "4 PEs send 25 lock-serialized increments each to a counter homed on PE 0",
+			NP:      4,
+			Source:  savinaCounting,
+			Want:    "COUNT IZ 100\nCOUNT IZ 100\nCOUNT IZ 100\nCOUNT IZ 100\n",
+		},
+		{
+			Table: "S", Construct: "savina: dining philosophers",
+			Meaning: "4 PEs trylock fork pairs with backoff; meal tally audited after HUGZ",
+			NP:      4,
+			Source:  savinaPhilosophers,
+			Want:    "PHILOSOPHER 0 ATE 3 SAW 12\nPHILOSOPHER 1 ATE 3 SAW 12\nPHILOSOPHER 2 ATE 3 SAW 12\nPHILOSOPHER 3 ATE 3 SAW 12\n",
+		},
+	}
+}
+
+const savinaPingPong = `BTW savina PingPong over one-sided put/get: two PEs volley a counter.
+BTW The server of round i bumps its local copy of the ball and puts it
+BTW into its partner's court; HUGZ is the return net. After 8 volleys
+BTW PE 0 holds ball 8 (last put in round 7) and PE 1 holds ball 7.
+HAI 1.2
+WE HAS A ball ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A buddy ITZ A NUMBR AN ITZ DIFF OF 1 AN pe
+I HAS A rounds ITZ A NUMBR AN ITZ 8
+I HAS A b ITZ A NUMBR
+HUGZ
+IM IN YR volley UPPIN YR i TIL BOTH SAEM i AN rounds
+  BOTH SAEM MOD OF i AN 2 AN pe, O RLY?
+  YA RLY
+    b R SUM OF ball AN 1
+    TXT MAH BFF buddy, UR ball R b
+  OIC
+  HUGZ
+IM OUTTA YR volley
+VISIBLE "PE :{pe} BALL :{ball}"
+KTHXBYE
+`
+
+const savinaBarrierStorm = `BTW savina barrier storm: 12 back-to-back HUGZ episodes across 8 PEs.
+BTW Each episode publishes a round stamp, synchronizes, and audits every
+BTW peer's stamp; the second HUGZ fences the audit from the next round's
+BTW publish. A single stale or early release anywhere breaks the tally.
+HAI 1.2
+WE HAS A round ITZ SRSLY A NUMBR
+I HAS A rounds ITZ A NUMBR AN ITZ 12
+I HAS A good ITZ A NUMBR AN ITZ 0
+I HAS A total ITZ A NUMBR
+IM IN YR storm UPPIN YR r TIL BOTH SAEM r AN rounds
+  round R SUM OF r AN 1
+  HUGZ
+  total R 0
+  IM IN YR scan UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    TXT MAH BFF k, total R SUM OF total AN UR round
+  IM OUTTA YR scan
+  BOTH SAEM total AN PRODUKT OF SUM OF r AN 1 AN MAH FRENZ, O RLY?
+  YA RLY
+    good R SUM OF good AN 1
+  OIC
+  HUGZ
+IM OUTTA YR storm
+BOTH SAEM good AN rounds, O RLY?
+YA RLY
+  VISIBLE "STORM OK"
+OIC
+KTHXBYE
+`
+
+const savinaCounting = `BTW savina Counting actor: 4 PEs send 25 increments each to the counter
+BTW homed on PE 0, serialized by the global lock attached to the shared
+BTW symbol. The audit read is fenced by HUGZ, so every PE must report the
+BTW exact total — any lost update under park/resume shows up here.
+HAI 1.2
+WE HAS A count ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A iters ITZ A NUMBR AN ITZ 25
+HUGZ
+IM IN YR work UPPIN YR i TIL BOTH SAEM i AN iters
+  IM SRSLY MESIN WIF count
+  TXT MAH BFF 0, UR count R SUM OF UR count AN 1
+  DUN MESIN WIF count
+IM OUTTA YR work
+HUGZ
+I HAS A seen ITZ A NUMBR
+TXT MAH BFF 0, seen R UR count
+VISIBLE "COUNT IZ :{seen}"
+KTHXBYE
+`
+
+const savinaPhilosophers = `BTW savina dining philosophers: 4 PEs, 4 forks as shared lock symbols.
+BTW Lock names are static in the dialect, so each philosopher's fork pair
+BTW is hard-coded in a WTF? branch. Forks are claimed with the trylock
+BTW form (IM MESIN WIF sets IT) and fully backed off on failure, and the
+BTW meal tally takes a blocking lock WHILE HOLDING both forks — parking a
+BTW PE that owns locks is exactly the scheduler hazard under test.
+HAI 1.2
+WE HAS A forkA ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A forkB ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A forkC ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A forkD ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A eaten ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A meals ITZ A NUMBR AN ITZ 0
+HUGZ
+IM IN YR feast UPPIN YR tick TIL BOTH SAEM meals AN 3
+  pe, WTF?
+  OMG 0
+    IM MESIN WIF forkA, O RLY?
+    YA RLY
+      IM MESIN WIF forkB, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkB
+      OIC
+      DUN MESIN WIF forkA
+    OIC
+    GTFO
+  OMG 1
+    IM MESIN WIF forkB, O RLY?
+    YA RLY
+      IM MESIN WIF forkC, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkC
+      OIC
+      DUN MESIN WIF forkB
+    OIC
+    GTFO
+  OMG 2
+    IM MESIN WIF forkC, O RLY?
+    YA RLY
+      IM MESIN WIF forkD, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkD
+      OIC
+      DUN MESIN WIF forkC
+    OIC
+    GTFO
+  OMG 3
+    BTW asymmetric order: the last philosopher reaches across for forkA
+    BTW first, breaking the circular-wait pattern of the classic hang.
+    IM MESIN WIF forkA, O RLY?
+    YA RLY
+      IM MESIN WIF forkD, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkD
+      OIC
+      DUN MESIN WIF forkA
+    OIC
+    GTFO
+  OIC
+IM OUTTA YR feast
+HUGZ
+I HAS A total ITZ A NUMBR
+TXT MAH BFF 0, total R UR eaten
+VISIBLE "PHILOSOPHER :{pe} ATE :{meals} SAW :{total}"
+KTHXBYE
+`

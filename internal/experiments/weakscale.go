@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+// WeakscaleResult is one point of the E4 weak-scaling curve: the Monte
+// Carlo kernel at one PE count on the vm tier under the worker
+// scheduler, priced by the XC40 cost model.
+type WeakscaleResult struct {
+	NP         int
+	Workers    int           // worker-pool size the scheduler ran with
+	Wall       time.Duration // host wall clock for the whole run
+	PEsPerSec  float64       // NP / Wall: completed PE programs per second
+	SimMS      float64       // max per-PE simulated time (XC40 model), ms
+	Parks      int64         // scheduler parks across the run
+	MaxRunning int           // peak concurrently-executing steps
+}
+
+// Weakscale measures experiment E4: weak scaling of the event-driven
+// worker scheduler. Each PE throws the same number of darts, so the
+// problem grows with NP while per-PE work is constant; goroutine-per-PE
+// execution would need NP stacks, the worker scheduler needs a fixed
+// pool plus NP parked continuations. The XC40 cost model prices the
+// barrier and the one-sided hit-count writes, so the simulated-time
+// column reports what the fabric would charge — rising with NP through
+// the log-depth barrier and PE 0's gather — independent of host load.
+// Throughput is reported as completed PE programs per wall second, the
+// weak-scaling figure of merit.
+func Weakscale(w io.Writer, nps []int, darts int) ([]WeakscaleResult, error) {
+	model, err := machine.ByName("xc40")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "E4 — weak scaling, montecarlo %d darts/PE, vm tier, worker scheduler, %s model\n", darts, model.Name())
+	fmt.Fprintf(w, "%-8s %-9s %-12s %-12s %-12s %-8s %-11s\n",
+		"np", "workers", "wall", "PEs/s", "sim-ms", "parks", "max-running")
+
+	var results []WeakscaleResult
+	for _, np := range nps {
+		prog, err := core.Parse("weakscale.lol", GenMonteCarlo(darts, np))
+		if err != nil {
+			return nil, fmt.Errorf("np=%d: %w", np, err)
+		}
+		var out strings.Builder
+		start := time.Now()
+		res, err := prog.Run(core.RunConfig{
+			Backend: core.BackendVM,
+			Config: interp.Config{
+				NP:          np,
+				Seed:        7,
+				Stdout:      &out,
+				GroupOutput: true,
+				Model:       model,
+				Sched:       backend.SchedWorkers,
+			},
+		})
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("np=%d: %w", np, err)
+		}
+		var simMax float64
+		for _, s := range res.SimNanos {
+			if s > simMax {
+				simMax = s
+			}
+		}
+		sched := res.Stats.Sched
+		r := WeakscaleResult{
+			NP:         np,
+			Workers:    sched.Workers,
+			Wall:       wall,
+			PEsPerSec:  float64(np) / wall.Seconds(),
+			SimMS:      simMax / 1e6,
+			Parks:      sched.Parks,
+			MaxRunning: sched.MaxRunning,
+		}
+		results = append(results, r)
+		fmt.Fprintf(w, "%-8d %-9d %-12v %-12.0f %-12.3f %-8d %-11d\n",
+			r.NP, r.Workers, r.Wall.Round(time.Microsecond), r.PEsPerSec, r.SimMS, r.Parks, r.MaxRunning)
+	}
+	return results, nil
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/gogen"
 	"repro/internal/native"
 )
@@ -291,7 +292,7 @@ func TestFailedLeaderWakesWaiters(t *testing.T) {
 func TestResultKeyTierSalt(t *testing.T) {
 	prog := KeyOf(sumSrc(10))
 	at := func(salt string) ResultKey {
-		return resultKeyOf(prog, "compile", 2, 1, 1000, time.Second, "", salt)
+		return resultKeyOf(prog, "compile", 2, 1, 1000, time.Second, "", salt, backend.SchedGoroutines)
 	}
 	inProc := at("")
 	nativeV1 := at("native:gogen@g1")

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// barrierLoopSrc makes every PE cross six barriers before printing, so a
+// worker-scheduled run must park and unpark each PE repeatedly — enough
+// traffic to move every scheduler counter the server accumulates.
+const barrierLoopSrc = `HAI 1.2
+I HAS A r ITZ 0
+IM IN YR rounds UPPIN YR r TIL BOTH SAEM r AN 6
+  HUGZ
+IM OUTTA YR rounds
+VISIBLE SMOOSH "PE " AN ME MKAY
+KTHXBYE`
+
+// TestRunSchedWorkers drives the request-level scheduler selection end to
+// end: a job asking for the worker scheduler must run to the same bytes
+// as the goroutine-per-PE default, and its park/unpark traffic must show
+// up in the server's aggregate scheduler stats (the /v1/stats "sched"
+// block and the lolserv_sched_* metrics read the same counters).
+func TestRunSchedWorkers(t *testing.T) {
+	s := New(Options{Workers: 2, MaxNP: 16})
+	defer s.Close()
+
+	base := s.Run(context.Background(), RunRequest{
+		Src: barrierLoopSrc, NP: 8, Backend: "vm", Sched: "goroutines",
+	})
+	if base.Outcome != OutcomeOK {
+		t.Fatalf("goroutine-mode outcome %q (%s)", base.Outcome, base.Error)
+	}
+	if got := s.Stats().Sched; got.JobsWorkers != 0 {
+		t.Fatalf("goroutine-mode run counted as a worker job: %+v", got)
+	}
+
+	resp := s.Run(context.Background(), RunRequest{
+		Src: barrierLoopSrc, NP: 8, Backend: "vm", Sched: "workers",
+	})
+	if resp.Outcome != OutcomeOK {
+		t.Fatalf("worker-mode outcome %q (%s)", resp.Outcome, resp.Error)
+	}
+	if resp.Output != base.Output {
+		t.Errorf("worker-mode output diverged:\nworkers:    %q\ngoroutines: %q", resp.Output, base.Output)
+	}
+	// The two requests differ only in sched, so the second must have
+	// executed rather than been answered from the first one's result.
+	if resp.ResultCacheHit {
+		t.Error("worker-mode run answered from the goroutine-mode cache line")
+	}
+
+	st := s.Stats().Sched
+	if st.JobsWorkers != 1 {
+		t.Errorf("sched.jobs_workers = %d, want 1", st.JobsWorkers)
+	}
+	if st.Parks == 0 {
+		t.Error("sched.parks = 0; a six-barrier NP=8 run on two workers must park")
+	}
+	if st.Parks != st.Unparks {
+		t.Errorf("sched.parks = %d != sched.unparks = %d after a quiescent run", st.Parks, st.Unparks)
+	}
+
+	bad := s.Run(context.Background(), RunRequest{Src: helloSrc, NP: 2, Sched: "fibers"})
+	if bad.Outcome != OutcomeRejected || !strings.Contains(bad.Error, "fibers") {
+		t.Errorf("bad sched value: outcome %q error %q, want rejection naming the value", bad.Outcome, bad.Error)
+	}
+}

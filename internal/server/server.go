@@ -104,6 +104,11 @@ type Options struct {
 	// (defaults 50M and 500M). A request may ask for less, never more.
 	DefaultStepBudget int64
 	MaxStepBudget     int64
+	// Sched is the default SPMD scheduler mode for jobs that don't set
+	// the request field: SchedAuto (zero value) lets capable engines use
+	// the bounded worker pool at high NP, SchedGoroutines forces a
+	// goroutine per PE, SchedWorkers forces the pool.
+	Sched backend.SchedMode
 
 	// NativeCache enables the fourth execution tier: programs whose
 	// program-cache hit count reaches NativeThreshold are compiled by
@@ -219,6 +224,14 @@ type Server struct {
 	jobsRejected obs.Counter
 	batchesRun   obs.Counter
 	inFlight     obs.Gauge
+
+	// Worker-scheduler activity, accumulated from each job's world
+	// snapshot after the run (shmem.SchedSnapshot).
+	schedJobs     obs.Counter // jobs that ran under the worker scheduler
+	schedParks    obs.Counter
+	schedUnparks  obs.Counter
+	schedSpurious obs.Counter
+	schedYields   obs.Counter
 }
 
 // New builds a Server.
@@ -268,6 +281,11 @@ type RunRequest struct {
 	// MaxSteps overrides the server's default per-PE step budget, clamped
 	// to the server max; 0 uses the default.
 	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Sched selects the SPMD execution mode on engines with resumable
+	// state: "goroutines" (one goroutine per PE), "workers" (bounded
+	// worker pool), or "auto" (workers at high NP). Empty uses the
+	// server's -sched default. Output is byte-identical across modes.
+	Sched string `json:"sched,omitempty"`
 }
 
 // Outcome classifies how a job ended.
@@ -391,7 +409,7 @@ func (s *Server) run(ctx context.Context, req RunRequest) RunResponse {
 	// deterministic is only known after the frontend runs, so a first
 	// sight claims the key optimistically and resolves the claim below.
 	rkey := resultKeyOf(key, coreBackend.String(), req.NP,
-		req.Seed, steps, timeout, req.Stdin, tierSalt)
+		req.Seed, steps, timeout, req.Stdin, tierSalt, s.schedModeFor(req))
 	qStart := time.Now()
 	cached, claim, err := s.results.acquire(ctx, rkey)
 	obs.FromContext(ctx).Record(stageResultCache, time.Since(qStart))
@@ -514,6 +532,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 		Context:     jobCtx,
 		StepBudget:  steps,
 		MaxOutput:   s.opts.MaxOutputBytes,
+		Sched:       s.schedModeFor(req),
 	}
 	// The cacheability verdict: the program must be audited schedule-
 	// independent at this PE count, and the output discipline must make
@@ -544,6 +563,15 @@ func (s *Server) execute(ctx context.Context, req RunRequest, key Key, coreBacke
 		resp.OutputTruncated = res.OutputTruncated
 		if res.ExecWall > 0 {
 			s.metrics.spmdSeconds.With(resp.Tier).Observe(res.ExecWall.Seconds())
+		}
+		// Failed runs carry post-teardown stats too, so kills and
+		// deadlocks still account their scheduler activity.
+		if sch := res.Stats.Sched; sch.Mode == "workers" {
+			s.schedJobs.Inc()
+			s.schedParks.Add(sch.Parks)
+			s.schedUnparks.Add(sch.Unparks)
+			s.schedSpurious.Add(sch.Spurious)
+			s.schedYields.Add(sch.Yields)
 		}
 	}
 
@@ -588,10 +616,27 @@ func (s *Server) validate(req *RunRequest) (RunResponse, bool) {
 	if _, err := core.ParseBackend(req.Backend); err != nil {
 		return reject("%v", err)
 	}
+	if _, err := backend.ParseSchedMode(req.Sched); err != nil {
+		return reject("%v", err)
+	}
 	if req.TimeoutMS < 0 || req.MaxSteps < 0 {
 		return reject("negative timeout_ms or max_steps")
 	}
 	return RunResponse{}, true
+}
+
+// schedModeFor resolves a job's scheduler mode: the request's explicit
+// choice (validated on admission) or the server default. It is part of
+// the result-cache key because the worker scheduler's exact deadlock
+// detector changes the *outcome* of a deadlocked program (immediate
+// runtime error vs goroutine mode's eventual timeout), even though
+// successful output bytes are identical across modes.
+func (s *Server) schedModeFor(req RunRequest) backend.SchedMode {
+	if req.Sched != "" {
+		m, _ := backend.ParseSchedMode(req.Sched)
+		return m
+	}
+	return s.opts.Sched
 }
 
 // classify maps a run error onto an outcome. Order matters: a client
@@ -620,6 +665,7 @@ type Stats struct {
 	ResultCache  ResultCacheStats `json:"result_cache"`
 	Tiers        TierStats        `json:"tiers"`
 	Native       NativeStats      `json:"native"`
+	Sched        SchedStats       `json:"sched"`
 	JobsRun      int64            `json:"jobs_run"`
 	JobsOK       int64            `json:"jobs_ok"`
 	JobsFailed   int64            `json:"jobs_failed"`
@@ -628,6 +674,19 @@ type Stats struct {
 	InFlight     int64            `json:"in_flight"`
 	Queued       int64            `json:"queued"`
 	Workers      int              `json:"workers"`
+}
+
+// SchedStats aggregates worker-scheduler activity across every job that
+// ran under the bounded worker pool (request or server `sched` mode
+// "workers", or "auto" at high NP). Parks/unparks balance when every
+// blocked PE was resumed exactly once; spurious counts injected
+// spurious wakeups absorbed by the park protocol.
+type SchedStats struct {
+	JobsWorkers int64 `json:"jobs_workers"`
+	Parks       int64 `json:"parks"`
+	Unparks     int64 `json:"unparks"`
+	Spurious    int64 `json:"spurious"`
+	Yields      int64 `json:"yields"`
 }
 
 // TierStats counts executions by the engine that actually ran each job.
@@ -649,6 +708,13 @@ func (s *Server) Stats() Stats {
 			VM:      s.metrics.execVM.Load(),
 			Compile: s.metrics.execCompile.Load(),
 			Native:  s.metrics.execNative.Load(),
+		},
+		Sched: SchedStats{
+			JobsWorkers: s.schedJobs.Load(),
+			Parks:       s.schedParks.Load(),
+			Unparks:     s.schedUnparks.Load(),
+			Spurious:    s.schedSpurious.Load(),
+			Yields:      s.schedYields.Load(),
 		},
 		JobsRun:      s.jobsRun.Load(),
 		JobsOK:       s.jobsOK.Load(),

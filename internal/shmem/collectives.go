@@ -40,7 +40,15 @@ func (op ReduceOp) String() string {
 
 // Broadcast copies root's instance of a scalar slot into every PE's
 // instance. Collective: every PE must call it.
+//
+// Broadcast and Reduce are multi-barrier composites whose bodies are not
+// idempotent, so they cannot honor the suspend protocol's re-invocation
+// contract; they are goroutine-mode only (the LOLCODE engines never emit
+// them — only harness code running under World.Run does).
 func (pe *PE) Broadcast(root, slot int) error {
+	if pe.task != nil {
+		return errNotParkSafe("Broadcast")
+	}
 	if err := pe.w.checkPE(root); err != nil {
 		return err
 	}
@@ -63,6 +71,9 @@ func (pe *PE) Broadcast(root, slot int) error {
 // result in every PE's instance. Values are combined with the LOLCODE
 // numeric rules (NUMBR stays NUMBR until a NUMBAR appears). Collective.
 func (pe *PE) Reduce(slot int, op ReduceOp) error {
+	if pe.task != nil {
+		return errNotParkSafe("Reduce")
+	}
 	if err := pe.Barrier(); err != nil {
 		return err
 	}
@@ -101,6 +112,10 @@ func (pe *PE) Reduce(slot int, op ReduceOp) error {
 		}
 	}
 	return pe.Barrier()
+}
+
+func errNotParkSafe(op string) error {
+	return fmt.Errorf("shmem: %s is a non-idempotent composite collective and cannot run under the worker scheduler; run this body with World.Run", op)
 }
 
 func combine(op ReduceOp, a, b value.Value) (value.Value, error) {
@@ -199,7 +214,10 @@ func (c WaitCond) holds(a, b int64) bool {
 
 // WaitUntilNumbr blocks until this PE's local instance of slot satisfies
 // cond against operand — point-to-point synchronization
-// (shmem_wait_until), the partner of a remote Put.
+// (shmem_wait_until), the partner of a remote Put. Under the worker
+// scheduler an unsatisfied condition yields instead of spinning: the
+// whole call is one idempotent check, so re-invoking it on resume is the
+// poll. This keeps a put/wait partner from pinning a pool worker.
 func (pe *PE) WaitUntilNumbr(slot int, cond WaitCond, operand int64) error {
 	if err := pe.w.checkSlot(slot); err != nil {
 		return err
@@ -216,6 +234,9 @@ func (pe *PE) WaitUntilNumbr(slot int, cond WaitCond, operand int64) error {
 		case <-pe.w.failCh:
 			return ErrWorldFailed
 		default:
+		}
+		if pe.task != nil {
+			return suspendYield
 		}
 		if spins < 64 {
 			runtime.Gosched()

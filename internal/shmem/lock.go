@@ -3,6 +3,7 @@ package shmem
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -16,6 +17,12 @@ type ticketLock struct {
 	next    atomic.Int64
 	serving atomic.Int64
 	owner   atomic.Int64 // PE id + 1; 0 = unheld (diagnostics only)
+
+	// Scheduler-mode waiters, keyed by ticket. release hands the lock
+	// directly to the parked holder of the next ticket (FIFO preserved)
+	// and unparks it; World.fail drains the map on teardown.
+	pmu    sync.Mutex
+	parked map[int64]*peTask
 }
 
 // acquire spins until this PE's ticket is served or the world fails.
@@ -40,6 +47,48 @@ func (l *ticketLock) acquire(pe int, failCh <-chan struct{}) error {
 	return nil
 }
 
+// acquirePark is acquire under the worker scheduler: take a ticket, and
+// either acquire immediately (nil) or register the task for a release-
+// time hand-off and suspend. The failCh check happens under pmu, which
+// release and drainParked also take, so a concurrent World.fail either
+// is observed here (the mutex orders us after the close) or finds our
+// registration when it drains — a waiter can never be stranded.
+func (l *ticketLock) acquirePark(t *peTask, failCh <-chan struct{}) error {
+	tk := l.next.Add(1) - 1
+	l.pmu.Lock()
+	if l.serving.Load() == tk {
+		l.owner.Store(int64(t.pe.id) + 1)
+		l.pmu.Unlock()
+		return nil
+	}
+	select {
+	case <-failCh:
+		l.pmu.Unlock()
+		return ErrWorldFailed
+	default:
+	}
+	if l.parked == nil {
+		l.parked = make(map[int64]*peTask)
+	}
+	l.parked[tk] = t
+	l.pmu.Unlock()
+	return suspendPark
+}
+
+// drainParked unparks every scheduler-mode waiter with ErrWorldFailed.
+func (l *ticketLock) drainParked() {
+	l.pmu.Lock()
+	var ts []*peTask
+	for tk, t := range l.parked {
+		delete(l.parked, tk)
+		ts = append(ts, t)
+	}
+	l.pmu.Unlock()
+	for _, t := range ts {
+		t.sched.unpark(t, ErrWorldFailed, true)
+	}
+}
+
 // tryAcquire succeeds only when the lock is completely idle.
 func (l *ticketLock) tryAcquire(pe int) bool {
 	cur := l.serving.Load()
@@ -61,7 +110,21 @@ func (l *ticketLock) release(pe int) error {
 		return fmt.Errorf("shmem: PE %d released a lock held by PE %d", pe, own-1)
 	}
 	l.owner.Store(0)
-	l.serving.Add(1)
+	s := l.serving.Add(1)
+	// Hand the lock to the parked holder of the now-serving ticket, if
+	// any. Goroutine-mode spinners observe the serving counter directly;
+	// a parked task must be made owner here (it does not re-run the
+	// acquire loop — its resumed SetLock just records the acquisition).
+	l.pmu.Lock()
+	wt := l.parked[s]
+	if wt != nil {
+		delete(l.parked, s)
+		l.owner.Store(int64(wt.pe.id) + 1)
+	}
+	l.pmu.Unlock()
+	if wt != nil {
+		wt.sched.unpark(wt, nil, true)
+	}
 	return nil
 }
 
@@ -76,10 +139,36 @@ func (w *World) checkLock(id int) error {
 // like symmetric objects in SHMEM, lock id i is homed on PE i mod N.
 func (w *World) lockHome(id int) int { return id % w.n }
 
-// SetLock blocks until this PE holds lock id (IM SRSLY MESIN WIF).
+// SetLock blocks until this PE holds lock id (IM SRSLY MESIN WIF). Under
+// the worker scheduler it may return a *Suspend; the release-time
+// hand-off makes the parked PE the owner, so its re-invocation only
+// consumes the wakeup and records the acquisition.
 func (pe *PE) SetLock(id int) error {
 	if err := pe.w.checkLock(id); err != nil {
 		return err
+	}
+	if pe.task != nil {
+		if pending, rerr, _ := pe.consumeResume(); pending {
+			if rerr != nil {
+				return rerr
+			}
+			pe.w.stats.LockAcquires.Add(1)
+			pe.stats.LockAcquires++
+			pe.trace(EvLock, pe.w.lockHome(id), id, 0)
+			return nil
+		}
+		pe.charge(pe.w.model.LockNanos(pe.id, pe.w.lockHome(id)))
+		l := &pe.w.locks[id]
+		if !l.tryAcquire(pe.id) {
+			pe.w.stats.LockContended.Add(1)
+			if err := l.acquirePark(pe.task, pe.w.failCh); err != nil {
+				return err
+			}
+		}
+		pe.w.stats.LockAcquires.Add(1)
+		pe.stats.LockAcquires++
+		pe.trace(EvLock, pe.w.lockHome(id), id, 0)
+		return nil
 	}
 	pe.charge(pe.w.model.LockNanos(pe.id, pe.w.lockHome(id)))
 	l := &pe.w.locks[id]
@@ -93,6 +182,14 @@ func (pe *PE) SetLock(id int) error {
 	pe.stats.LockAcquires++
 	pe.trace(EvLock, pe.w.lockHome(id), id, 0)
 	return nil
+}
+
+// drainLockWaiters releases every scheduler-mode lock waiter after a
+// world failure; goroutine-mode spinners observe failCh themselves.
+func (w *World) drainLockWaiters() {
+	for i := range w.locks {
+		w.locks[i].drainParked()
+	}
 }
 
 // TestLock attempts lock id without blocking (IM MESIN WIF); it reports

@@ -1,6 +1,7 @@
 package shmem
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -110,6 +111,66 @@ func TestPropertyReduceMatchesSequentialFold(t *testing.T) {
 		return err == nil && ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDisseminationBarrierUnderWorkerScheduler: for any world
+// size, episode count, and pool width, every completed barrier episode
+// separates the PEs exactly — after PE p's episode-k barrier returns,
+// every PE has published its episode-k arrival. Under the worker
+// scheduler the dissemination rounds park and resume mid-episode, so
+// this is precisely the property that fails if a PE's round cursor (the
+// sense-reversal generation state) does not survive park/resume, or if
+// a stale round token releases a waiter into the wrong episode.
+func TestPropertyDisseminationBarrierUnderWorkerScheduler(t *testing.T) {
+	f := func(npRaw, epRaw, wkRaw uint8) bool {
+		np := int(npRaw)%13 + 2 // 2..14, mostly non-powers-of-two
+		episodes := int(epRaw)%10 + 1
+		workers := int(wkRaw)%4 + 1
+		w, err := NewWorld(np, []SymbolSpec{{Name: "progress"}}, 0, Options{Barrier: BarrierDissemination})
+		if err != nil {
+			return false
+		}
+		var violated atomic.Bool
+		err = w.RunScheduled(workers, func(pe *PE) func() error {
+			episode, published := 0, false
+			return func() error {
+				for episode < episodes {
+					if !published {
+						if err := pe.Put(pe.ID(), 0, value.NewNumbr(int64(episode+1))); err != nil {
+							return err
+						}
+						published = true
+					}
+					// May suspend mid-episode; the resumed step re-enters
+					// here (published is already true) and continues the
+					// same episode from the parked round.
+					if err := pe.Barrier(); err != nil {
+						return err
+					}
+					for q := 0; q < np; q++ {
+						v, err := pe.Get(q, 0)
+						if err != nil {
+							return err
+						}
+						if v.Numbr() < int64(episode+1) {
+							violated.Store(true)
+						}
+					}
+					episode++
+					published = false
+				}
+				return nil
+			}
+		})
+		if err != nil || violated.Load() {
+			return false
+		}
+		s := w.Stats().Sched
+		return s.Parked == 0 && s.Ready == 0 && s.Running == 0 && s.Parks == s.Unparks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

@@ -15,7 +15,8 @@ type Stats struct {
 	Atomics       atomic.Int64
 }
 
-// StatsSnapshot is an immutable copy of Stats.
+// StatsSnapshot is an immutable copy of Stats, plus the worker-scheduler
+// activity for worlds run under RunScheduled (zero-valued otherwise).
 type StatsSnapshot struct {
 	RemotePuts    int64
 	RemoteGets    int64
@@ -25,6 +26,7 @@ type StatsSnapshot struct {
 	LockAcquires  int64
 	LockContended int64
 	Atomics       int64
+	Sched         SchedSnapshot
 }
 
 func (s *Stats) snapshot() StatsSnapshot {

@@ -4,12 +4,21 @@
 // global locks, and a handful of collectives and atomics that real
 // OpenSHMEM backends use implicitly.
 //
-// Each PE is a goroutine bound to a *PE handle. Symmetric memory is a
-// per-PE heap of cells laid out identically on every PE (the paper's
-// Figure 1); a remote reference is a (pe, slot) pair. A pluggable cost
-// model (see internal/machine) charges simulated nanoseconds to the
-// calling PE for every one-sided operation, so programs report
-// hardware-shaped timing without the hardware.
+// Symmetric memory is a per-PE heap of cells laid out identically on
+// every PE (the paper's Figure 1); a remote reference is a (pe, slot)
+// pair. A pluggable cost model (see internal/machine) charges simulated
+// nanoseconds to the calling PE for every one-sided operation, so
+// programs report hardware-shaped timing without the hardware.
+//
+// A world executes in one of two modes. Under World.Run each PE is a
+// dedicated goroutine and blocking operations block it — simple, and the
+// differential oracle for everything else. Under World.RunScheduled each
+// PE is a resumable continuation multiplexed onto a bounded worker pool:
+// blocking operations return a *Suspend (see suspend.go) instead of
+// blocking, the scheduler parks the task, and the wait structures —
+// barriers, ticket locks — unpark it explicitly when satisfied. That is
+// what makes NP in the thousands affordable: a parked PE costs one small
+// struct, not a goroutine stack.
 package shmem
 
 import (
@@ -109,6 +118,9 @@ type World struct {
 	failCh   chan struct{}
 	failErr  atomic.Value // error
 
+	// sched is non-nil iff this world runs under RunScheduled.
+	sched *scheduler
+
 	stats Stats
 }
 
@@ -156,14 +168,24 @@ func (w *World) Model() CostModel { return w.model }
 func (w *World) Symbols() []SymbolSpec { return w.syms }
 
 // Stats returns a snapshot of the world's operation counters.
-func (w *World) Stats() StatsSnapshot { return w.stats.snapshot() }
+func (w *World) Stats() StatsSnapshot {
+	s := w.stats.snapshot()
+	if w.sched != nil {
+		s.Sched = w.sched.snapshot()
+	}
+	return s
+}
 
-// fail records the first failure and releases all blocked PEs.
+// fail records the first failure and releases all blocked PEs — both
+// goroutines blocked in waits (they observe failCh or the barrier wake)
+// and tasks parked under the worker scheduler (the wake paths unpark
+// them with ErrWorldFailed).
 func (w *World) fail(err error) {
 	w.failOnce.Do(func() {
 		w.failErr.Store(err)
 		close(w.failCh)
 		w.barrier.wake()
+		w.drainLockWaiters()
 	})
 }
 
@@ -199,8 +221,28 @@ type PE struct {
 	w   *World
 	rng *rand.Rand
 
+	// task is non-nil under the worker scheduler; blocking operations
+	// then suspend instead of blocking. resume* is the wakeup payload
+	// staged by the scheduler before a parked task's step is re-invoked;
+	// the re-executed blocking operation consumes it (consumeResume).
+	task          *peTask
+	resumePending bool
+	resumeDone    bool
+	resumeErr     error
+
 	simNanos float64 // simulated time consumed by this PE
 	stats    PEStats
+}
+
+// consumeResume hands the staged wakeup payload to the blocking
+// operation being re-invoked after a park, clearing it so a later
+// blocking call on the same PE starts fresh.
+func (pe *PE) consumeResume() (pending bool, err error, done bool) {
+	if !pe.resumePending {
+		return false, nil, false
+	}
+	pe.resumePending = false
+	return true, pe.resumeErr, pe.resumeDone
 }
 
 // ID returns this PE's rank, 0..N-1 (the paper's ME).
@@ -253,12 +295,42 @@ func (w *World) Run(body func(pe *PE) error) error {
 }
 
 // Barrier is the collective barrier (the paper's HUGZ). Every PE must call
-// it before any PE continues.
+// it before any PE continues. Under the worker scheduler it may return a
+// *Suspend; the re-invocation after the wakeup completes it.
 func (pe *PE) Barrier() error {
+	if pe.task != nil {
+		return pe.barrierScheduled()
+	}
 	pe.charge(pe.w.model.BarrierNanos(pe.w.n))
 	pe.w.stats.Barriers.Add(1)
 	pe.stats.Barriers++
 	err := pe.w.barrier.wait(pe.id, pe.w)
+	if err == nil {
+		pe.trace(EvBarrier, -1, -1, 0)
+	}
+	return err
+}
+
+// barrierScheduled is Barrier under the worker scheduler. The cost-model
+// charge and the counters apply once, on first arrival; a resume with
+// done=false (an intermediate dissemination round token) re-enters
+// arrive without re-charging.
+func (pe *PE) barrierScheduled() error {
+	pending, rerr, done := pe.consumeResume()
+	if pending {
+		if rerr != nil {
+			return rerr
+		}
+		if done {
+			pe.trace(EvBarrier, -1, -1, 0)
+			return nil
+		}
+	} else {
+		pe.charge(pe.w.model.BarrierNanos(pe.w.n))
+		pe.w.stats.Barriers.Add(1)
+		pe.stats.Barriers++
+	}
+	err := pe.w.barrier.arrive(pe.task)
 	if err == nil {
 		pe.trace(EvBarrier, -1, -1, 0)
 	}

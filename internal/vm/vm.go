@@ -66,8 +66,33 @@ func (p *Program) Run(cfg backend.Config) (*backend.Result, error) {
 	return p.RunWorld(cfg, world)
 }
 
+// vmYieldInterval is how many instructions a scheduled VM executes
+// before yielding its worker. Large enough that the check (one
+// predictable branch per dispatch) and the reschedule are noise, small
+// enough that a compute-bound PE cannot starve the bounded pool.
+const vmYieldInterval = 4096
+
 // RunWorld executes the program on an existing world, one VM per PE.
+// The VM keeps its whole execution state in the runner (frames sync ip
+// at call, return, and suspension points), so it is the engine that can
+// run under the worker scheduler: cfg.Sched selects goroutine-per-PE
+// (the differential oracle) or parked continuations on a bounded pool.
 func (p *Program) RunWorld(cfg backend.Config, world *shmem.World) (*backend.Result, error) {
+	if cfg.UseWorkers(world.N()) {
+		return backend.RunSPMDScheduled(cfg, world, func(pe *shmem.PE, io backend.PEIO) func() error {
+			r := &runner{
+				prog:       p,
+				pe:         pe,
+				out:        io.Out,
+				errw:       io.Err,
+				stdin:      io.Stdin,
+				stack:      make([]value.Value, 0, 64),
+				meter:      backend.NewMeter(&cfg),
+				yieldEvery: vmYieldInterval,
+			}
+			return r.run
+		})
+	}
 	return backend.RunSPMD(cfg, world, func(pe *shmem.PE, io backend.PEIO) error {
 		r := &runner{
 			prog:  p,
@@ -123,6 +148,13 @@ type runner struct {
 	// superinstructions meter the static weight of the sequence they
 	// replaced, so fusion never changes how many steps a budget buys.
 	meter backend.Meter
+
+	// yieldEvery > 0 marks a scheduled runner: run() is a resumable step
+	// function that suspends at barriers/locks and yields the worker
+	// every yieldEvery instructions. 0 (goroutine mode) compiles the
+	// yield check down to one never-taken branch.
+	yieldEvery int
+	sinceYield int
 }
 
 func (r *runner) push(v value.Value) { r.stack = append(r.stack, v) }
@@ -168,17 +200,31 @@ func (r *runner) target(in *Instr) (pe int, remote bool, err error) {
 // read their operands straight from immediates instead of the value
 // stack) this is what closes most of the gap to the closure compiler on
 // arithmetic-heavy loops.
+// Under the worker scheduler run doubles as the PE's resumable step
+// function: the first call lazily pushes the main frame, a suspension
+// syncs fr.ip and returns the *Suspend unwrapped, and the next call
+// restores the dispatch locals from the top frame — re-executing the
+// suspended instruction, which consumes the wakeup (see shmem.Suspend).
 func (r *runner) run() error {
-	r.frames = append(r.frames, frame{
-		chunk: r.prog.Main,
-		slots: make([]value.Value, r.prog.Main.NSlots),
-	})
-	fr := &r.frames[0]
+	if r.frames == nil {
+		r.frames = append(r.frames, frame{
+			chunk: r.prog.Main,
+			slots: make([]value.Value, r.prog.Main.NSlots),
+		})
+	}
+	fr := &r.frames[len(r.frames)-1]
 	code := fr.chunk.Code
 	consts := fr.chunk.Consts
 	slots := fr.slots
-	ip := 0
+	ip := fr.ip
 	for {
+		if r.yieldEvery > 0 {
+			if r.sinceYield++; r.sinceYield >= r.yieldEvery {
+				r.sinceYield = 0
+				fr.ip = ip
+				return shmem.SuspendYield()
+			}
+		}
 		in := &code[ip]
 		ip++
 		if err := r.meter.StepN(opWeights[in.Op]); err != nil {
@@ -582,10 +628,23 @@ func (r *runner) run() error {
 
 		case OpBarrier:
 			if err := r.pe.Barrier(); err != nil {
+				if shmem.AsSuspend(err) != nil {
+					// Park: rewind to this instruction and refund its
+					// charge; the resumed step re-executes it (re-charging)
+					// and the re-entered Barrier consumes the wakeup.
+					r.meter.Refund(opWeights[in.Op])
+					fr.ip = ip - 1
+					return err
+				}
 				return rerr(in.Pos, err)
 			}
 		case OpLockAcquire:
 			if err := r.pe.SetLock(in.A); err != nil {
+				if shmem.AsSuspend(err) != nil {
+					r.meter.Refund(opWeights[in.Op])
+					fr.ip = ip - 1
+					return err
+				}
 				return rerr(in.Pos, err)
 			}
 			slots[0] = value.NewTroof(true) // IT

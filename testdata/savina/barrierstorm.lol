@@ -1,0 +1,27 @@
+BTW savina barrier storm: 12 back-to-back HUGZ episodes across 8 PEs.
+BTW Each episode publishes a round stamp, synchronizes, and audits every
+BTW peer's stamp; the second HUGZ fences the audit from the next round's
+BTW publish. A single stale or early release anywhere breaks the tally.
+HAI 1.2
+WE HAS A round ITZ SRSLY A NUMBR
+I HAS A rounds ITZ A NUMBR AN ITZ 12
+I HAS A good ITZ A NUMBR AN ITZ 0
+I HAS A total ITZ A NUMBR
+IM IN YR storm UPPIN YR r TIL BOTH SAEM r AN rounds
+  round R SUM OF r AN 1
+  HUGZ
+  total R 0
+  IM IN YR scan UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    TXT MAH BFF k, total R SUM OF total AN UR round
+  IM OUTTA YR scan
+  BOTH SAEM total AN PRODUKT OF SUM OF r AN 1 AN MAH FRENZ, O RLY?
+  YA RLY
+    good R SUM OF good AN 1
+  OIC
+  HUGZ
+IM OUTTA YR storm
+BOTH SAEM good AN rounds, O RLY?
+YA RLY
+  VISIBLE "STORM OK"
+OIC
+KTHXBYE

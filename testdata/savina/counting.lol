@@ -1,0 +1,18 @@
+BTW savina Counting actor: 4 PEs send 25 increments each to the counter
+BTW homed on PE 0, serialized by the global lock attached to the shared
+BTW symbol. The audit read is fenced by HUGZ, so every PE must report the
+BTW exact total — any lost update under park/resume shows up here.
+HAI 1.2
+WE HAS A count ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A iters ITZ A NUMBR AN ITZ 25
+HUGZ
+IM IN YR work UPPIN YR i TIL BOTH SAEM i AN iters
+  IM SRSLY MESIN WIF count
+  TXT MAH BFF 0, UR count R SUM OF UR count AN 1
+  DUN MESIN WIF count
+IM OUTTA YR work
+HUGZ
+I HAS A seen ITZ A NUMBR
+TXT MAH BFF 0, seen R UR count
+VISIBLE "COUNT IZ :{seen}"
+KTHXBYE

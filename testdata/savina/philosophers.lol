@@ -1,0 +1,82 @@
+BTW savina dining philosophers: 4 PEs, 4 forks as shared lock symbols.
+BTW Lock names are static in the dialect, so each philosopher's fork pair
+BTW is hard-coded in a WTF? branch. Forks are claimed with the trylock
+BTW form (IM MESIN WIF sets IT) and fully backed off on failure, and the
+BTW meal tally takes a blocking lock WHILE HOLDING both forks — parking a
+BTW PE that owns locks is exactly the scheduler hazard under test.
+HAI 1.2
+WE HAS A forkA ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A forkB ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A forkC ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A forkD ITZ SRSLY A NUMBR AN IM SHARIN IT
+WE HAS A eaten ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A meals ITZ A NUMBR AN ITZ 0
+HUGZ
+IM IN YR feast UPPIN YR tick TIL BOTH SAEM meals AN 3
+  pe, WTF?
+  OMG 0
+    IM MESIN WIF forkA, O RLY?
+    YA RLY
+      IM MESIN WIF forkB, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkB
+      OIC
+      DUN MESIN WIF forkA
+    OIC
+    GTFO
+  OMG 1
+    IM MESIN WIF forkB, O RLY?
+    YA RLY
+      IM MESIN WIF forkC, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkC
+      OIC
+      DUN MESIN WIF forkB
+    OIC
+    GTFO
+  OMG 2
+    IM MESIN WIF forkC, O RLY?
+    YA RLY
+      IM MESIN WIF forkD, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkD
+      OIC
+      DUN MESIN WIF forkC
+    OIC
+    GTFO
+  OMG 3
+    BTW asymmetric order: the last philosopher reaches across for forkA
+    BTW first, breaking the circular-wait pattern of the classic hang.
+    IM MESIN WIF forkA, O RLY?
+    YA RLY
+      IM MESIN WIF forkD, O RLY?
+      YA RLY
+        meals R SUM OF meals AN 1
+        IM SRSLY MESIN WIF eaten
+        TXT MAH BFF 0, UR eaten R SUM OF UR eaten AN 1
+        DUN MESIN WIF eaten
+        DUN MESIN WIF forkD
+      OIC
+      DUN MESIN WIF forkA
+    OIC
+    GTFO
+  OIC
+IM OUTTA YR feast
+HUGZ
+I HAS A total ITZ A NUMBR
+TXT MAH BFF 0, total R UR eaten
+VISIBLE "PHILOSOPHER :{pe} ATE :{meals} SAW :{total}"
+KTHXBYE

@@ -1,0 +1,21 @@
+BTW savina PingPong over one-sided put/get: two PEs volley a counter.
+BTW The server of round i bumps its local copy of the ball and puts it
+BTW into its partner's court; HUGZ is the return net. After 8 volleys
+BTW PE 0 holds ball 8 (last put in round 7) and PE 1 holds ball 7.
+HAI 1.2
+WE HAS A ball ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A buddy ITZ A NUMBR AN ITZ DIFF OF 1 AN pe
+I HAS A rounds ITZ A NUMBR AN ITZ 8
+I HAS A b ITZ A NUMBR
+HUGZ
+IM IN YR volley UPPIN YR i TIL BOTH SAEM i AN rounds
+  BOTH SAEM MOD OF i AN 2 AN pe, O RLY?
+  YA RLY
+    b R SUM OF ball AN 1
+    TXT MAH BFF buddy, UR ball R b
+  OIC
+  HUGZ
+IM OUTTA YR volley
+VISIBLE "PE :{pe} BALL :{ball}"
+KTHXBYE
